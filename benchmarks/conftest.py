@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.experiments.ExperimentRunner` per session: every
+bench shares the per-kernel analysis contexts and memoized sweep
+cells, so the full harness regenerates all of the paper's tables and
+figures in a few minutes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner (paper-sized kernels)."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting text/CSV/JSON renderings of the results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def persist(results_dir: Path, stem: str, text: str) -> None:
+    """Write a text artifact and echo it for ``pytest -s`` runs."""
+    path = results_dir / f"{stem}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

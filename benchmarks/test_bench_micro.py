@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the substrates.
+
+These time the hot primitives the flows are built on — useful both as
+regression guards and to show where the engineering effort went (the
+vectorized ``EVALACC`` is the load-bearing one: Fig. 1c's conflict
+detection calls it O(candidates^2) times).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedPointInterpreter
+from repro.ir import Interpreter, build_dependence_graph
+from repro.codegen import lower_scalar_program, lower_simd_program
+from repro.scheduler import schedule_block
+from repro.slp import extract_candidates, initial_items
+from repro.targets import get_target
+from repro.wlo import tabu_wlo
+
+
+def test_evalacc_speed(runner, benchmark):
+    """Analytical noise evaluation (the paper's EVALACC)."""
+    context = runner.context("fir")
+    spec = context.fresh_spec()
+    power = benchmark(context.model.noise_power, spec)
+    assert power > 0.0
+
+
+def test_float_interpreter_speed(runner, benchmark):
+    """Reference interpreter throughput on the FIR analysis twin."""
+    context = runner.context("fir")
+    program = context.analysis_program
+    rng = np.random.default_rng(0)
+    inputs = {
+        decl.name: rng.uniform(*decl.value_range, size=decl.shape)
+        for decl in program.input_arrays()
+    }
+    interpreter = Interpreter(program)
+    outputs = benchmark(interpreter.run, inputs)
+    assert "y" in outputs
+
+
+def test_fxp_interpreter_speed(runner, benchmark):
+    """Bit-accurate fixed-point interpreter throughput."""
+    context = runner.context("fir")
+    program = context.analysis_program
+    spec = context.fresh_spec()
+    rng = np.random.default_rng(0)
+    inputs = {
+        decl.name: rng.uniform(*decl.value_range, size=decl.shape)
+        for decl in program.input_arrays()
+    }
+    interpreter = FixedPointInterpreter(program, spec)
+    outputs = benchmark(interpreter.run, inputs)
+    assert "y" in outputs
+
+
+def test_scheduler_speed(runner, benchmark):
+    """List scheduling of the scalar FIR body."""
+    context = runner.context("fir")
+    target = get_target("xentium")
+    lowered = lower_scalar_program(context.program, context.fresh_spec(), target)
+    schedule = benchmark(schedule_block, lowered["body"], target)
+    assert schedule.length > 0
+
+
+def test_candidate_extraction_speed(runner, benchmark):
+    """Structural SLP candidate enumeration on the CONV body."""
+    context = runner.context("conv")
+    block = context.program.blocks["body"]
+    deps = build_dependence_graph(block)
+    items = initial_items(block)
+    target = get_target("vex-4")
+    candidates = benchmark(
+        extract_candidates, context.program, items, deps, target
+    )
+    assert len(candidates) > 10
+
+
+@pytest.mark.parametrize("target_name", ["xentium", "vex-4"])
+def test_tabu_wlo_speed(runner, benchmark, target_name):
+    """Full Tabu WLO run (the WLO-First engine)."""
+    context = runner.context("fir")
+    target = get_target(target_name)
+
+    def run():
+        spec = context.fresh_spec(max_wl=target.max_wl)
+        return tabu_wlo(
+            context.program, spec, context.model, target, -35.0
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.best_cost > 0
+
+
+def test_simd_lowering_speed(runner, benchmark):
+    """SIMD lowering of an optimized FIR (pack/shift insertion)."""
+    from repro.flows import run_wlo_slp
+
+    context = runner.context("fir")
+    target = get_target("vex-4")
+    flow = run_wlo_slp(context.program, target, -25.0, context)
+    lowered = benchmark(
+        lower_simd_program, context.program, flow.spec, target, flow.groups
+    )
+    assert "body" in lowered

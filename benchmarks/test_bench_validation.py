@@ -1,0 +1,44 @@
+"""Model-validation and quantization-mode benches.
+
+These regenerate the supporting experiments of EXPERIMENTS.md: the
+analytical-vs-measured noise table (the credibility certificate of
+every other result) and the truncation-vs-rounding ablation (D).
+"""
+
+from __future__ import annotations
+
+from conftest import persist
+from repro.experiments import ablation_quant_mode, validation_table
+
+
+def test_model_validation_table(runner, benchmark, results_dir):
+    """Analytical EVALACC vs bit-accurate simulation, all kernels."""
+    table = benchmark.pedantic(
+        validation_table, args=(runner,), kwargs={"kernels": ("fir",)},
+        rounds=1, iterations=1,
+    )
+    full = validation_table(runner)
+    persist(results_dir, "model_validation", full.render())
+    full.to_csv(results_dir / "model_validation.csv")
+    # The model must track measurement inside its validity region.
+    for kernel, wl, _a, _m, diff in full.rows:
+        if kernel == "iir":
+            assert abs(diff) < 4.0
+        elif wl >= 12:
+            assert abs(diff) < 2.0
+
+
+def test_quant_mode_ablation(runner, benchmark, results_dir):
+    """Truncation (paper) vs rounding: bias gates narrow lanes."""
+    table = benchmark.pedantic(
+        ablation_quant_mode, args=(runner,),
+        kwargs={"grid": (-10.0, -25.0)}, rounds=1, iterations=1,
+    )
+    persist(results_dir, "ablation_quant_mode", table.render())
+    table.to_csv(results_dir / "ablation_quant_mode.csv")
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    # At -25 dB rounding retains the 4-lane groups truncation loses.
+    assert by_key[(-25.0, "round")][4] >= by_key[(-25.0, "truncate")][4]
+    # And never at the price of the constraint.
+    for row in table.rows:
+        assert row[5] <= row[0] + 0.51

@@ -1,0 +1,28 @@
+"""Legacy setup shim.
+
+The offline environment this project targets has setuptools but no
+``wheel`` package, so PEP 517 editable installs cannot build a wheel
+for metadata.  Keeping a ``setup.py`` (and omitting ``[build-system]``
+from pyproject.toml) makes ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SLP-aware word-length optimization for embedded SIMD processors "
+        "(DATE 2017 reproduction)"
+    ),
+    author="repro contributors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,33 @@
+"""Accuracy-evaluation substrate.
+
+Quantization-noise metrics, static site enumeration, adjoint-based
+gain extraction, the closed-form analytical evaluator (``EVALACC``)
+and the bit-accurate simulation evaluator used for validation.
+"""
+
+from repro.accuracy.adjoint import CoeffEntry, NoiseGains, extract_gains
+from repro.accuracy.analytical import AccuracyModel, build_accuracy_model
+from repro.accuracy.metrics import (
+    measured_noise_power,
+    noise_power_db,
+    quant_noise_moments,
+    sqnr_db,
+)
+from repro.accuracy.simulation import SimulationAccuracyEvaluator
+from repro.accuracy.sites import Site, SiteKind, enumerate_sites
+
+__all__ = [
+    "AccuracyModel",
+    "CoeffEntry",
+    "NoiseGains",
+    "SimulationAccuracyEvaluator",
+    "Site",
+    "SiteKind",
+    "build_accuracy_model",
+    "enumerate_sites",
+    "extract_gains",
+    "measured_noise_power",
+    "noise_power_db",
+    "quant_noise_moments",
+    "sqnr_db",
+]

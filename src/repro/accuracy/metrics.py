@@ -1,0 +1,110 @@
+"""Accuracy metrics and quantization-noise moments.
+
+The accuracy constraint of the paper is the maximum allowed *noise
+power* of the quantization error at the system output, expressed in dB
+(``P_dB = 10 log10 E[e^2]``).  This module provides the dB plumbing and
+the discrete uniform-noise moments of a quantization from ``f_from`` to
+``f_to`` fractional bits (Menard & Sentieys' source model):
+
+truncation
+    error uniform over ``{-(q_to - q_from), ..., 0}`` stepping
+    ``q_from``: mean ``-(q_to - q_from)/2``, variance
+    ``(q_to^2 - q_from^2)/12``;
+rounding
+    mean ``+q_from/2`` (the half-up bias of the discrete grid),
+    same variance.
+
+``q = 2**-f``; a continuous source (``f_from = inf``) has ``q_from=0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.fixedpoint.quantize import QuantMode
+from repro.utils import power_to_db, db_to_power
+
+__all__ = [
+    "quant_noise_moments",
+    "measured_noise_power",
+    "noise_power_db",
+    "sqnr_db",
+    "power_to_db",
+    "db_to_power",
+]
+
+
+def quant_noise_moments(
+    f_from: float, f_to: float, mode: QuantMode
+) -> tuple[float, float]:
+    """(mean, variance) of the error of quantizing ``f_from -> f_to``.
+
+    Returns ``(0, 0)`` when no bits are discarded (``f_to >= f_from``).
+    ``f_from`` may be ``math.inf`` for continuous-amplitude sources.
+    """
+    if f_to >= f_from:
+        return 0.0, 0.0
+    q_to = 2.0 ** -f_to
+    q_from = 0.0 if math.isinf(f_from) else 2.0 ** -f_from
+    variance = (q_to * q_to - q_from * q_from) / 12.0
+    if mode is QuantMode.ROUND:
+        mean = q_from / 2.0
+    else:
+        mean = -(q_to - q_from) / 2.0
+    return mean, variance
+
+
+def measured_noise_power(
+    reference: Mapping[str, np.ndarray],
+    measured: Mapping[str, np.ndarray],
+    discard: int = 0,
+) -> float:
+    """Mean squared error between two sets of output arrays.
+
+    ``discard`` drops that many leading elements of every (flattened)
+    output before averaging — warm-up transients of recursive filters
+    are not representative of steady-state noise.
+    """
+    total = 0.0
+    count = 0
+    for name, ref in reference.items():
+        got = np.asarray(measured[name], dtype=np.float64).ravel()[discard:]
+        want = np.asarray(ref, dtype=np.float64).ravel()[discard:]
+        err = got - want
+        total += float(np.dot(err, err))
+        count += err.size
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def noise_power_db(
+    reference: Mapping[str, np.ndarray],
+    measured: Mapping[str, np.ndarray],
+    discard: int = 0,
+) -> float:
+    """Measured noise power in dB."""
+    return power_to_db(measured_noise_power(reference, measured, discard))
+
+
+def sqnr_db(
+    reference: Mapping[str, np.ndarray],
+    measured: Mapping[str, np.ndarray],
+    discard: int = 0,
+) -> float:
+    """Signal-to-quantization-noise ratio in dB."""
+    signal = 0.0
+    count = 0
+    for ref in reference.values():
+        flat = np.asarray(ref, dtype=np.float64).ravel()[discard:]
+        signal += float(np.dot(flat, flat))
+        count += flat.size
+    noise = measured_noise_power(reference, measured, discard)
+    if noise <= 0.0:
+        return float("inf")
+    if count:
+        signal /= count
+    return power_to_db(signal) - power_to_db(noise)

@@ -1,0 +1,66 @@
+"""Simulation-based accuracy evaluation.
+
+The ground-truth counterpart of :class:`~repro.accuracy.analytical.AccuracyModel`:
+run the bit-accurate fixed-point interpreter against the float
+reference over representative stimuli and measure the output error
+power.  Orders of magnitude slower than the analytical model, it is
+used to *validate* specs (every flow result is checked against it in
+the tests) rather than inside optimization loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accuracy.metrics import measured_noise_power
+from repro.fixedpoint.fxpinterp import FixedPointInterpreter, FxpConfig
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.interp import Interpreter
+from repro.ir.program import Program
+from repro.utils import power_to_db
+
+__all__ = ["SimulationAccuracyEvaluator"]
+
+
+class SimulationAccuracyEvaluator:
+    """Measure a spec's output noise power by bit-accurate execution."""
+
+    def __init__(
+        self,
+        program: Program,
+        n_stimuli: int = 3,
+        seed: int = 424242,
+        config: FxpConfig | None = None,
+        discard: int = 0,
+    ) -> None:
+        self.program = program
+        self.config = config or FxpConfig()
+        self.discard = discard
+        rng = np.random.default_rng(seed)
+        self.stimuli: list[dict[str, np.ndarray]] = []
+        for _ in range(n_stimuli):
+            stimulus = {}
+            for decl in program.input_arrays():
+                lo, hi = decl.value_range  # type: ignore[misc]
+                stimulus[decl.name] = rng.uniform(lo, hi, size=decl.shape)
+            self.stimuli.append(stimulus)
+        interpreter = Interpreter(program)
+        self.references = [interpreter.run(s) for s in self.stimuli]
+
+    # ------------------------------------------------------------------
+    def noise_power(self, spec: FixedPointSpec) -> float:
+        """Average measured output noise power over the stimuli."""
+        total = 0.0
+        for stimulus, reference in zip(self.stimuli, self.references):
+            fxp = FixedPointInterpreter(self.program, spec, self.config)
+            measured = fxp.run(stimulus)
+            total += measured_noise_power(reference, measured, self.discard)
+        return total / len(self.stimuli)
+
+    def noise_db(self, spec: FixedPointSpec) -> float:
+        """Measured output noise power in dB."""
+        return power_to_db(self.noise_power(spec))
+
+    def violates(self, spec: FixedPointSpec, constraint_db: float) -> bool:
+        """True when the measured noise exceeds the constraint."""
+        return self.noise_db(spec) > constraint_db

@@ -1,0 +1,128 @@
+"""Quantization-site enumeration.
+
+A *site* is a static program location where mantissa bits can be
+discarded under some fixed-point specification.  Sites are
+spec-independent: which sites exist depends only on the program
+structure and the tie groups; *whether* a site is active (discards
+bits) and how much it discards is a function of the specification,
+evaluated in vectorized form by the analytical evaluator.
+
+Site classes (mirroring the interpreter discipline in
+``repro.fixedpoint.fxpinterp``):
+
+``ALIGN``
+    Operand alignment of ADD/SUB/MIN/MAX/NEG/ABS and the output
+    requantization of STORE: from the producer's format to the
+    consumer node's format.
+``MUL_EDGE``
+    Operand narrowing at a multiply input when SLP assigned the edge a
+    lane word length (paper eq. (1) acting on operands).
+``MUL_OUT``
+    Requantization of the exact product to the multiply node's format.
+``INPUT``
+    Conversion of the continuous-amplitude environment signal into an
+    input array's format (one site per input array; per-cell coherence
+    is folded into the gain by the adjoint extractor).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.fixedpoint.spec import SlotMap
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+
+__all__ = ["SiteKind", "Site", "enumerate_sites"]
+
+
+class SiteKind(enum.Enum):
+    ALIGN = "align"
+    MUL_EDGE = "mul_edge"
+    MUL_OUT = "mul_out"
+    INPUT = "input"
+
+
+@dataclass(frozen=True)
+class Site:
+    """One potential quantization point.
+
+    ``gain_key`` identifies the adjoint aggregate carrying this site's
+    noise to the output: ``("node", opid)``, ``("edge", opid, pos)`` or
+    ``("input", array_name)``.
+    """
+
+    kind: SiteKind
+    #: Consumer op id (-1 for INPUT sites).
+    opid: int
+    #: Operand position for edge-class sites, else -1.
+    pos: int
+    #: Slot whose format is the *source* precision (-1 when implicit).
+    from_slot: int
+    #: Slot whose format is the *destination* precision.
+    to_slot: int
+    gain_key: tuple
+
+    def describe(self, slotmap: SlotMap) -> str:
+        where = f"%{self.opid}" if self.opid >= 0 else ""
+        return (
+            f"{self.kind.value}{where}"
+            f"[{slotmap.describe(self.to_slot)}]"
+        )
+
+
+def enumerate_sites(program: Program, slotmap: SlotMap) -> list[Site]:
+    """All potential quantization sites of ``program``.
+
+    Sites whose source and destination share a tie group can never
+    discard bits and are omitted (e.g. the accumulator chain
+    read-modify-write, whose formats are tied by construction).
+    """
+    sites: list[Site] = []
+    root = slotmap.root_of
+
+    for op in program.all_ops():
+        kind = op.kind
+        if kind is OpKind.MUL:
+            for pos in (0, 1):
+                producer = op.operands[pos]
+                sites.append(Site(
+                    SiteKind.MUL_EDGE, op.opid, pos,
+                    from_slot=producer, to_slot=producer,
+                    gain_key=("edge", op.opid, pos),
+                ))
+            sites.append(Site(
+                SiteKind.MUL_OUT, op.opid, -1,
+                from_slot=-1, to_slot=op.opid,
+                gain_key=("node", op.opid),
+            ))
+        elif kind in (OpKind.ADD, OpKind.SUB, OpKind.MIN, OpKind.MAX,
+                      OpKind.NEG, OpKind.ABS):
+            for pos, producer in enumerate(op.operands):
+                if root(producer) == root(op.opid):
+                    continue
+                sites.append(Site(
+                    SiteKind.ALIGN, op.opid, pos,
+                    from_slot=producer, to_slot=op.opid,
+                    gain_key=("edge", op.opid, pos),
+                ))
+        elif kind is OpKind.STORE:
+            producer = op.operands[0]
+            if root(producer) == root(op.opid):
+                continue
+            sites.append(Site(
+                SiteKind.ALIGN, op.opid, 0,
+                from_slot=producer, to_slot=op.opid,
+                gain_key=("node", op.opid),
+            ))
+        # LOAD/READVAR/WRITEVAR/CONST: format-tied or deterministic.
+
+    for decl in program.input_arrays():
+        slot = slotmap.slot_of_symbol(decl.name)
+        sites.append(Site(
+            SiteKind.INPUT, -1, -1,
+            from_slot=-1, to_slot=slot,
+            gain_key=("input", decl.name),
+        ))
+    return sites

@@ -1,0 +1,222 @@
+"""Command-line front end.
+
+Usage examples::
+
+    repro targets
+    repro run --kernel fir --target xentium --constraint -25
+    repro table1 --out results/
+    repro fig4 --kernels fir --targets xentium vex-1
+    repro fig6
+    repro ablations
+    repro codegen --kernel fir --target xentium --constraint -25 --simd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "SLP-aware word-length optimization for embedded SIMD "
+            "processors (DATE 2017 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list available processor models")
+
+    run = sub.add_parser("run", help="run one flow on one kernel")
+    _kernel_target_args(run)
+    run.add_argument("--constraint", type=float, default=-25.0,
+                     help="accuracy constraint in dB (default -25)")
+    run.add_argument(
+        "--flow", choices=("wlo-slp", "wlo-first", "float"),
+        default="wlo-slp",
+    )
+
+    fig4 = sub.add_parser("fig4", help="regenerate paper Fig. 4")
+    fig4.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
+    fig4.add_argument("--targets", nargs="+",
+                      default=["xentium", "st240", "vex-4", "vex-1"])
+    _grid_and_out_args(fig4)
+
+    t1 = sub.add_parser("table1", help="regenerate paper Table I")
+    _grid_and_out_args(t1)
+
+    fig6 = sub.add_parser("fig6", help="regenerate paper Fig. 6")
+    _grid_and_out_args(fig6)
+
+    abl = sub.add_parser("ablations", help="run the ablation studies")
+    abl.add_argument("--kernel", default="fir")
+    abl.add_argument("--target", default="xentium")
+    _grid_and_out_args(abl, with_grid=False)
+
+    val = sub.add_parser(
+        "validate",
+        help="tabulate analytical vs bit-accurate measured noise",
+    )
+    val.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
+    _grid_and_out_args(val, with_grid=False)
+
+    gen = sub.add_parser("codegen", help="emit fixed-point C code")
+    _kernel_target_args(gen)
+    gen.add_argument("--constraint", type=float, default=-25.0)
+    gen.add_argument("--simd", action="store_true",
+                     help="emit SIMD macro-API C instead of scalar C")
+    gen.add_argument("-o", "--output", type=Path, default=None)
+    return parser
+
+
+def _kernel_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", default="fir",
+                        choices=("fir", "iir", "conv", "dot", "sad"))
+    parser.add_argument("--target", default="xentium")
+
+
+def _grid_and_out_args(
+    parser: argparse.ArgumentParser, with_grid: bool = True
+) -> None:
+    if with_grid:
+        parser.add_argument(
+            "--grid", nargs="+", type=float, default=None,
+            help="accuracy constraints in dB (default: the paper grid)",
+        )
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for CSV/JSON copies of the results")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "targets":
+        from repro.targets import available_targets, get_target
+
+        for name in available_targets():
+            print(get_target(name).describe())
+        return 0
+
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "codegen":
+        return _cmd_codegen(args)
+
+    from repro.experiments import (
+        PAPER_CONSTRAINT_GRID,
+        ExperimentRunner,
+        ablation_wlo_engines,
+        ablation_wlo_slp_features,
+        render_fig4,
+        render_fig6,
+        fig4_table,
+        fig6_table,
+        table1,
+        validation_table,
+    )
+
+    runner = ExperimentRunner()
+    grid = tuple(getattr(args, "grid", None) or PAPER_CONSTRAINT_GRID)
+
+    if args.command == "fig4":
+        print(render_fig4(runner, tuple(args.kernels), tuple(args.targets), grid))
+        _export(args, fig4_table(runner, tuple(args.kernels),
+                                 tuple(args.targets), grid), "fig4")
+        return 0
+    if args.command == "table1":
+        table = table1(runner, grid=grid)
+        print(table.render())
+        _export(args, table, "table1")
+        return 0
+    if args.command == "fig6":
+        print(render_fig6(runner, grid=grid))
+        _export(args, fig6_table(runner, grid=grid), "fig6")
+        return 0
+    if args.command == "validate":
+        table = validation_table(runner, tuple(args.kernels))
+        print(table.render())
+        _export(args, table, "model_validation")
+        return 0
+    if args.command == "ablations":
+        features = ablation_wlo_slp_features(runner, args.kernel, args.target)
+        engines = ablation_wlo_engines(runner, args.kernel, args.target)
+        print(features.render())
+        print()
+        print(engines.render())
+        _export(args, features, "ablation_features")
+        _export(args, engines, "ablation_engines")
+        return 0
+    raise ReproError(f"unhandled command {args.command!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.flows import AnalysisContext, run_float, run_wlo_first, run_wlo_slp
+    from repro.kernels import kernel_by_name
+    from repro.targets import get_target
+
+    program = kernel_by_name(args.kernel)
+    target = get_target(args.target)
+    if args.flow == "float":
+        print(run_float(program, target).summary())
+        return 0
+    context = AnalysisContext.build(program)
+    if args.flow == "wlo-slp":
+        result = run_wlo_slp(program, target, args.constraint, context)
+        print(result.summary())
+        assert result.spec is not None
+        print(result.spec.describe())
+    else:
+        result = run_wlo_first(program, target, args.constraint, context)
+        print(result.summary())
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.flows import AnalysisContext, run_wlo_slp
+    from repro.codegen import emit_fixed_point_c, emit_simd_c
+    from repro.kernels import kernel_by_name
+    from repro.targets import get_target
+
+    program = kernel_by_name(args.kernel)
+    target = get_target(args.target)
+    context = AnalysisContext.build(program)
+    result = run_wlo_slp(program, target, args.constraint, context)
+    assert result.spec is not None and result.groups is not None
+    if args.simd:
+        source = emit_simd_c(program, result.spec, result.groups)
+    else:
+        source = emit_fixed_point_c(program, result.spec)
+    if args.output is not None:
+        args.output.write_text(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def _export(args: argparse.Namespace, table, stem: str) -> None:
+    out = getattr(args, "out", None)
+    if out is None:
+        return
+    out.mkdir(parents=True, exist_ok=True)
+    table.to_csv(out / f"{stem}.csv")
+    table.to_json(out / f"{stem}.json")
+    print(f"\n[wrote {out}/{stem}.csv and .json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

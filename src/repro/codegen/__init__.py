@@ -1,0 +1,29 @@
+"""Code generation: IR -> machine ops (cycles) and IR -> C source."""
+
+from repro.codegen.ccode import emit_fixed_point_c, emit_simd_c
+from repro.codegen.floatgen import lower_float_block, lower_float_program
+from repro.codegen.scalar import (
+    ScalarLowering,
+    lower_scalar_block,
+    lower_scalar_program,
+)
+from repro.codegen.simd import (
+    VectorVarSet,
+    collect_vector_vars,
+    lower_simd_block,
+    lower_simd_program,
+)
+
+__all__ = [
+    "ScalarLowering",
+    "VectorVarSet",
+    "collect_vector_vars",
+    "emit_fixed_point_c",
+    "emit_simd_c",
+    "lower_float_block",
+    "lower_float_program",
+    "lower_scalar_block",
+    "lower_scalar_program",
+    "lower_simd_block",
+    "lower_simd_program",
+]

@@ -1,0 +1,530 @@
+"""SIMD lowering.
+
+Lowers blocks under a fixed-point spec *and* a set of SIMD groups:
+grouped operations become single vector instructions, operands arrive
+either for free (superword reuse in matching lane order, contiguous
+vector memory accesses, loop-carried vector registers) or through
+explicit pack/permute/extract sequences — the overhead the whole paper
+revolves around.
+
+Scaling shifts follow the Fig. 2 rules: a reuse edge whose per-lane
+shift amounts are uniform costs at most one vector shift; non-uniform
+amounts force unpack / scalar shifts / repack.  ``SCALOPTIM`` exists
+to move specs from the second case into the first, and its effect is
+measured exactly here.
+
+Cross-block vector variables: when lanes of a group write scalar
+variables (the unrolled accumulator pattern), those variables live in
+one vector register program-wide; blocks that access them scalarly
+(the init/reduction blocks) pay pack/extract costs, the hot loop pays
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CodegenError
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.block import BasicBlock
+from repro.ir.deps import is_loop_invariant_load
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+from repro.codegen.scalar import ScalarLowering
+from repro.scheduler.machineop import MachineBlock
+from repro.slp.groups import GroupSet, SIMDGroup, memory_lane_stride
+from repro.targets.model import TargetModel
+
+__all__ = [
+    "VectorVarSet",
+    "collect_vector_vars",
+    "lower_simd_block",
+    "lower_simd_program",
+]
+
+_VECTOR_ALU = {
+    OpKind.ADD: "vadd",
+    OpKind.SUB: "vsub",
+    OpKind.MIN: "vmin",
+    OpKind.MAX: "vmax",
+    OpKind.NEG: "vneg",
+    OpKind.ABS: "vabs",
+}
+
+
+@dataclass(frozen=True)
+class VectorVarSet:
+    """Scalar variables that live as lanes of one vector register."""
+
+    key: tuple[str, int]
+    vars: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.vars)
+
+
+def collect_vector_vars(
+    program: Program, groups_by_block: dict[str, GroupSet]
+) -> dict[str, tuple[VectorVarSet, int]]:
+    """Map each vector-resident variable to its (set, lane).
+
+    A variable is vector-resident when a grouped lane's value is
+    written to it — the unrolled-accumulator pattern.
+    """
+    result: dict[str, tuple[VectorVarSet, int]] = {}
+    for block_name, groups in groups_by_block.items():
+        block = program.blocks[block_name]
+        written_by: dict[int, str] = {}
+        for op in block.ops:
+            if op.kind is OpKind.WRITEVAR:
+                written_by[op.operands[0]] = op.var  # type: ignore[assignment]
+        for group in groups:
+            lane_vars = [written_by.get(opid) for opid in group.lanes]
+            if None in lane_vars:
+                continue
+            names = tuple(lane_vars)  # type: ignore[arg-type]
+            if len(set(names)) != len(names):
+                continue
+            var_set = VectorVarSet((block_name, group.gid), names)
+            for lane, var in enumerate(names):
+                result[var] = (var_set, lane)
+    return result
+
+
+@dataclass
+class SimdLowering(ScalarLowering):
+    """Block lowering in the presence of SIMD groups."""
+
+    groups: GroupSet = field(default_factory=lambda: GroupSet(""))
+    vector_vars: dict[str, tuple[VectorVarSet, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._lane_of: dict[int, tuple[SIMDGroup, int]] = {}
+        self._trigger: dict[int, SIMDGroup] = {}
+        for group in self.groups:
+            positions = [self.block.position(opid) for opid in group.lanes]
+            self._trigger[max(positions)] = group
+            for lane, opid in enumerate(group.lanes):
+                self._lane_of[opid] = (group, lane)
+        #: group id -> machine id of its result vector.
+        self._vec_mid: dict[int, int | None] = {}
+        #: vector-var-set key -> current vector machine id (None=live-in).
+        self._vvs_mid: dict[tuple[str, int], int | None] = {}
+        #: pending scalar writes into vector lanes: key -> lane -> mid.
+        self._vvs_pending: dict[tuple[str, int], dict[int, int | None]] = {}
+        #: extract cache for scalar consumers of grouped lanes.
+        self._extracts: dict[int, int | None] = {}
+        #: READVARs of vector-resident vars, resolved lazily by fetch().
+        self._pending_vec_read: dict[int, tuple[tuple[str, int], int]] = {}
+        #: variables whose current value sits in a vector register.
+        self._var_in_vector: dict[str, tuple[tuple[str, int], int]] = {}
+        self._vvs_by_key: dict[tuple[str, int], VectorVarSet] = {}
+        for var, (var_set, lane) in self.vector_vars.items():
+            self._var_in_vector[var] = (var_set.key, lane)
+            self._vvs_by_key[var_set.key] = var_set
+
+    # ------------------------------------------------------------------
+    def lower(self) -> MachineBlock:
+        for position, op in enumerate(self.block.ops):
+            if op.opid in self._lane_of:
+                group = self._trigger.get(position)
+                if group is not None:
+                    self._emit_group(group)
+                continue
+            self.lower_op(op)
+        self._flush_pending_packs()
+        return self.machine
+
+    # ------------------------------------------------------------------
+    # Scalar-side integration
+    # ------------------------------------------------------------------
+    def fetch(self, opid: int) -> int | None:
+        """Scalar value of an IR op, extracting from vectors on demand."""
+        if opid in self._extracts:
+            return self._extracts[opid]
+        pending = self._pending_vec_read.get(opid)
+        if pending is not None:
+            key, _lane = pending
+            vec = self._vvs_mid.get(key)
+            mid = self._emit_extract(vec, f"read lane of {key[0]}:g{key[1]}")
+            self._extracts[opid] = mid
+            return mid
+        lane_info = self._lane_of.get(opid)
+        if lane_info is None:
+            return self.value_mid[opid]
+        group, _lane = lane_info
+        vec = self._vec_mid.get(group.gid)
+        mid = self._emit_extract(vec, f"lane of g{group.gid}")
+        self._extracts[opid] = mid
+        return mid
+
+    def _emit_extract(self, vec: int | None, comment: str) -> int:
+        preds = (vec,) if vec is not None else ()
+        return self.machine.add(
+            "ext", "alu", self.target.latency("alu"),
+            preds=tuple(p for p in preds if p is not None),
+            comment=comment,
+        )
+
+    def lower_op(self, op: Operation) -> None:
+        if op.kind is OpKind.READVAR:
+            var = op.var
+            assert var is not None
+            if var in self._var_in_vector and var not in self.var_mid:
+                # Value lives in a vector register.  Vector consumers
+                # use it in place (the vvs operand path); only scalar
+                # consumers pay an extract, lazily via fetch().
+                self._pending_vec_read[op.opid] = self._var_in_vector[var]
+                self.anchor_mid[op.opid] = None
+                return
+            super().lower_op(op)
+            return
+        if op.kind is OpKind.WRITEVAR:
+            var = op.var
+            assert var is not None
+            producer = op.operands[0]
+            lane_info = self._lane_of.get(producer)
+            if var in self._var_in_vector:
+                key, lane = self._var_in_vector[var]
+                if lane_info is not None and self.vector_vars[var][0].key == (
+                    self.block.name, lane_info[0].gid
+                ):
+                    # Vector write-back: the whole set updates at once.
+                    self._vvs_mid[key] = self._vec_mid.get(lane_info[0].gid)
+                    self.value_mid[op.opid] = self._vvs_mid[key]
+                    self.anchor_mid[op.opid] = None
+                    return
+                # Scalar write into a vector lane: defer a pack.
+                mid = self.fetch(producer)
+                self._vvs_pending.setdefault(key, {})[lane] = mid
+                self.var_mid[var] = mid
+                self.value_mid[op.opid] = mid
+                self.anchor_mid[op.opid] = None
+                return
+            super().lower_op(op)
+            return
+        super().lower_op(op)
+
+    def _flush_pending_packs(self) -> None:
+        """Assemble vectors for lanes written scalarly in this block."""
+        for key, lanes in sorted(self._vvs_pending.items()):
+            size = self._vvs_by_key[key].size
+            mids = [m for m in lanes.values() if m is not None]
+            vec = self._emit_pack(mids, size, comment=f"pack {key[0]}:g{key[1]}")
+            self._vvs_mid[key] = vec
+        self._vvs_pending.clear()
+
+    # ------------------------------------------------------------------
+    # Group emission
+    # ------------------------------------------------------------------
+    def _group_order_preds(self, group: SIMDGroup) -> tuple[int, ...]:
+        preds: list[int] = []
+        for opid in group.lanes:
+            preds.extend(self.order_preds(self.program.op(opid)))
+        return tuple(dict.fromkeys(preds))
+
+    def _emit_group(self, group: SIMDGroup) -> None:
+        if group.kind is OpKind.LOAD:
+            mid = self._emit_vector_load(group)
+        elif group.kind is OpKind.STORE:
+            mid = self._emit_vector_store(group)
+        elif group.kind is OpKind.MUL:
+            mid = self._emit_vector_mul(group)
+        elif group.kind in _VECTOR_ALU:
+            mid = self._emit_vector_alu(group)
+        else:  # pragma: no cover - candidates filter kinds
+            raise CodegenError(f"cannot SIMDize kind {group.kind}")
+        self._vec_mid[group.gid] = mid
+        for opid in group.lanes:
+            self.anchor_mid[opid] = mid
+
+    def _emit_vector_load(self, group: SIMDGroup) -> int | None:
+        if all(
+            is_loop_invariant_load(self.program, self.program.op(opid))
+            for opid in group.lanes
+        ):
+            # The whole vector is loop-invariant: packed once in the
+            # preheader, it is a live-in register here.
+            return None
+        stride = memory_lane_stride(self.program, group.lanes)
+        order = self._group_order_preds(group)
+        if stride == 1 or stride == -1:
+            mid = self.machine.add(
+                "vld", "mem", self.target.latency("mem"), preds=order,
+                lanes=group.size, comment=self.program.op(group.lanes[0]).array or "",
+            )
+            if stride == -1:
+                mid = self.machine.add(
+                    "perm", "alu", self.target.latency("alu"), preds=(mid,),
+                    lanes=group.size, comment="reverse lanes",
+                )
+            return mid
+        loads = [
+            self.machine.add(
+                "ld", "mem", self.target.latency("mem"),
+                preds=self.order_preds(self.program.op(opid)),
+                origin=opid,
+            )
+            for opid in group.lanes
+        ]
+        return self._emit_pack(loads, group.size, comment="gather")
+
+    def _emit_vector_store(self, group: SIMDGroup) -> int:
+        vec = self._resolve_operand(group, 0)
+        stride = memory_lane_stride(self.program, group.lanes)
+        order = self._group_order_preds(group)
+        preds = tuple(p for p in (vec,) if p is not None) + order
+        if stride == 1:
+            return self.machine.add(
+                "vst", "mem", self.target.latency("mem"), preds=preds,
+                lanes=group.size,
+                comment=self.program.op(group.lanes[0]).array or "",
+            )
+        # Scatter: unpack and store lanes individually.
+        lane_mids = self._emit_unpack(vec, group.size)
+        last = -1
+        for opid, lane_mid in zip(group.lanes, lane_mids):
+            lane_preds = tuple(
+                p for p in (lane_mid,) if p is not None
+            ) + self.order_preds(self.program.op(opid))
+            last = self.machine.add(
+                "st", "mem", self.target.latency("mem"), preds=lane_preds,
+                origin=opid,
+            )
+        return last
+
+    def _emit_vector_mul(self, group: SIMDGroup) -> int:
+        a = self._resolve_operand(group, 0)
+        b = self._resolve_operand(group, 1)
+        preds = tuple(p for p in (a, b) if p is not None)
+        mul = self.machine.add(
+            "vmul", "mul", self.target.latency("mul"), preds=preds,
+            lanes=group.size,
+        )
+        deltas = []
+        for opid in group.lanes:
+            f_prod = sum(
+                self.spec.consumption_fwl(opid, pos) for pos in (0, 1)
+            )
+            deltas.append(f_prod - self.spec.fwl(opid))
+        return self._emit_lane_shifts(mul, deltas, group.size) or mul
+
+    def _emit_vector_alu(self, group: SIMDGroup) -> int:
+        op0 = self.program.op(group.lanes[0])
+        operand_mids = []
+        for pos in range(len(op0.operands)):
+            operand_mids.append(self._resolve_operand(group, pos))
+        preds = tuple(m for m in operand_mids if m is not None)
+        return self.machine.add(
+            _VECTOR_ALU[group.kind], "alu", self.target.latency("alu"),
+            preds=preds, lanes=group.size,
+        )
+
+    # ------------------------------------------------------------------
+    # Operand resolution (where pack/unpack costs appear)
+    # ------------------------------------------------------------------
+    def _operand_shift_amounts(self, group: SIMDGroup, pos: int) -> list[int]:
+        """Per-lane alignment shifts at this operand edge (Fig. 2)."""
+        shifts = []
+        for opid in group.lanes:
+            op = self.program.op(opid)
+            producer = op.operands[pos]
+            f_src = self.spec.fwl(producer)
+            if op.kind is OpKind.MUL:
+                f_dst = self.spec.consumption_fwl(opid, pos)
+            else:
+                f_dst = self.spec.fwl(opid)
+            shifts.append(f_src - f_dst)
+        return shifts
+
+    def _resolve_operand(self, group: SIMDGroup, pos: int) -> int | None:
+        producers = tuple(
+            self.program.op(opid).operands[pos] for opid in group.lanes
+        )
+        shifts = self._operand_shift_amounts(group, pos)
+
+        source = self.groups.producer_group(producers)
+        if source is not None:
+            vec = self._vec_mid.get(source.gid)
+            return self._emit_lane_shifts(vec, shifts, group.size) or vec
+
+        reversed_source = self.groups.producer_group(tuple(reversed(producers)))
+        if reversed_source is not None:
+            vec = self._vec_mid.get(reversed_source.gid)
+            mid = self.machine.add(
+                "perm", "alu", self.target.latency("alu"),
+                preds=tuple(p for p in (vec,) if p is not None),
+                lanes=group.size, comment="reverse lanes",
+            )
+            return self._emit_lane_shifts(mid, shifts, group.size) or mid
+
+        vvs = self._match_vector_vars(producers)
+        if vvs is not None:
+            vec = self._vvs_mid.get(vvs)
+            return self._emit_lane_shifts(vec, shifts, group.size) or vec
+
+        # Loop-invariant operands (hoisted coefficient splats) are
+        # packed once in the preheader: free per iteration.
+        if all(self._invariant_producer(p) for p in producers):
+            return None
+
+        # Lane selection out of a single wider vector (halves, even/odd
+        # de-interleave, ...): one permute/select op on sub-word ISAs,
+        # whose registers are just differently-sliced 32-bit words.
+        sliced = self._match_single_group_source(producers)
+        if sliced is not None:
+            vec = self._vec_mid.get(sliced.gid)
+            mid = self.machine.add(
+                "perm", "alu", self.target.latency("alu"),
+                preds=tuple(p for p in (vec,) if p is not None),
+                lanes=group.size,
+                comment=f"select lanes of g{sliced.gid}",
+            )
+            return self._emit_lane_shifts(mid, shifts, group.size) or mid
+
+        # General case: pack from scalars (with per-lane narrowing).
+        lane_mids = []
+        for producer, shift in zip(producers, shifts):
+            mid = self.fetch(producer)
+            mid = self.emit_shift(mid, shift, "lane narrow")
+            lane_mids.append(mid)
+        return self._emit_pack(
+            [m for m in lane_mids if m is not None], group.size,
+            comment="pack operands",
+        )
+
+    def _invariant_producer(self, opid: int) -> bool:
+        op = self.program.op(opid)
+        if op.kind is OpKind.CONST:
+            return True
+        return is_loop_invariant_load(self.program, op)
+
+    def _match_single_group_source(
+        self, producers: tuple[int, ...]
+    ) -> SIMDGroup | None:
+        """The single group supplying every producer lane, if any."""
+        info = self.groups.group_of(producers[0])
+        if info is None:
+            return None
+        group = info[0]
+        for producer in producers[1:]:
+            other = self.groups.group_of(producer)
+            if other is None or other[0] is not group:
+                return None
+        return group
+
+    def _match_vector_vars(
+        self, producers: tuple[int, ...]
+    ) -> tuple[str, int] | None:
+        """Key of the vector-var set matching these READVAR producers."""
+        key: tuple[str, int] | None = None
+        for lane, producer in enumerate(producers):
+            op = self.program.op(producer)
+            if op.kind is not OpKind.READVAR:
+                return None
+            info = self.vector_vars.get(op.var or "")
+            if info is None:
+                return None
+            var_set, var_lane = info
+            if var_lane != lane or len(producers) != var_set.size:
+                return None
+            if key is None:
+                key = var_set.key
+            elif key != var_set.key:
+                return None
+        return key
+
+    # ------------------------------------------------------------------
+    # Pack / unpack / lane-shift primitives
+    # ------------------------------------------------------------------
+    def _emit_pack(
+        self, lane_mids: list[int], size: int, comment: str = ""
+    ) -> int | None:
+        """Assemble a vector from scalar lanes: size-1 insert ops."""
+        current: int | None = lane_mids[0] if lane_mids else None
+        for step in range(1, size):
+            preds = [current] if current is not None else []
+            if step < len(lane_mids):
+                preds.append(lane_mids[step])
+            current = self.machine.add(
+                "pack", "alu", self.target.latency("alu"),
+                preds=tuple(p for p in preds if p is not None),
+                lanes=size, comment=comment,
+            )
+        return current
+
+    def _emit_unpack(self, vec: int | None, size: int) -> list[int | None]:
+        """Scatter a vector into scalars: size-1 extract ops.
+
+        The low lane is readable in place (no op), matching sub-word
+        ISAs where the register *is* the low lane.
+        """
+        mids: list[int | None] = [vec]
+        for _ in range(size - 1):
+            mids.append(
+                self.machine.add(
+                    "unpk", "alu", self.target.latency("alu"),
+                    preds=tuple(p for p in (vec,) if p is not None),
+                    lanes=size,
+                )
+            )
+        return mids
+
+    def _emit_lane_shifts(
+        self, vec: int | None, shifts: list[int], size: int
+    ) -> int | None:
+        """Apply per-lane shifts: free, one vector shift, or the
+        unpack / scalar shifts / repack penalty of Fig. 2."""
+        if all(s == 0 for s in shifts):
+            return vec
+        if len(set(shifts)) == 1:
+            amount = shifts[0]
+            name = "vshr" if amount > 0 else "vshl"
+            return self.machine.add(
+                name, "alu", self.target.shift_latency(amount),
+                preds=tuple(p for p in (vec,) if p is not None),
+                lanes=size, comment=f"by {abs(amount)}",
+            )
+        lane_mids = self._emit_unpack(vec, size)
+        shifted: list[int] = []
+        for mid, amount in zip(lane_mids, shifts):
+            out = self.emit_shift(mid, amount, "lane scaling")
+            if out is not None:
+                shifted.append(out)
+        return self._emit_pack(shifted, size, comment="repack after scaling")
+
+
+def lower_simd_block(
+    program: Program,
+    block: BasicBlock,
+    spec: FixedPointSpec,
+    target: TargetModel,
+    groups: GroupSet,
+    vector_vars: dict[str, tuple[VectorVarSet, int]],
+) -> MachineBlock:
+    """Lower one block with its SIMD groups."""
+    lowering = SimdLowering(
+        program, block, spec, target,
+        groups=groups, vector_vars=vector_vars,
+    )
+    return lowering.lower()
+
+
+def lower_simd_program(
+    program: Program,
+    spec: FixedPointSpec,
+    target: TargetModel,
+    groups_by_block: dict[str, GroupSet],
+) -> dict[str, MachineBlock]:
+    """Lower every block of the program with SIMD groups applied."""
+    vector_vars = collect_vector_vars(program, groups_by_block)
+    lowered = {}
+    for name, block in program.blocks.items():
+        groups = groups_by_block.get(name) or GroupSet(name)
+        lowered[name] = lower_simd_block(
+            program, block, spec, target, groups, vector_vars
+        )
+    return lowered

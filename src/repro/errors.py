@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single except clause
+while still discriminating on the specific subclass when needed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IRError",
+    "ValidationError",
+    "InterpreterError",
+    "FixedPointError",
+    "OverflowPolicyError",
+    "RangeAnalysisError",
+    "AccuracyError",
+    "SLPError",
+    "WLOError",
+    "TargetError",
+    "SchedulerError",
+    "CodegenError",
+    "FlowError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR construction (bad operands, unknown symbols, ...)."""
+
+
+class ValidationError(IRError):
+    """A program failed structural validation."""
+
+
+class InterpreterError(ReproError):
+    """Runtime failure while interpreting a program."""
+
+
+class FixedPointError(ReproError):
+    """Invalid fixed-point format or operation."""
+
+
+class OverflowPolicyError(FixedPointError):
+    """A value overflowed its format under the 'error' overflow policy."""
+
+
+class RangeAnalysisError(ReproError):
+    """Dynamic-range analysis could not bound a value."""
+
+
+class AccuracyError(ReproError):
+    """Accuracy evaluation failed (no output, degenerate gains, ...)."""
+
+
+class SLPError(ReproError):
+    """SLP extraction failure (inconsistent groups, bad lane order, ...)."""
+
+
+class WLOError(ReproError):
+    """Word-length optimization failure (infeasible constraint, ...)."""
+
+
+class TargetError(ReproError):
+    """Unknown target or inconsistent target model."""
+
+
+class SchedulerError(ReproError):
+    """List scheduling failed (cyclic machine-op graph, ...)."""
+
+
+class CodegenError(ReproError):
+    """Lowering or C emission failure."""
+
+
+class FlowError(ReproError):
+    """End-to-end compilation flow failure."""

@@ -1,0 +1,42 @@
+"""Evaluation harness regenerating every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    ablation_quant_mode,
+    ablation_wlo_engines,
+    ablation_wlo_slp_features,
+)
+from repro.experiments.validation import validation_table
+from repro.experiments.fig4 import fig4_panel, fig4_table, render_fig4
+from repro.experiments.fig6 import (
+    FIG6_TARGETS,
+    fig6_series,
+    fig6_table,
+    render_fig6,
+)
+from repro.experiments.runner import (
+    PAPER_CONSTRAINT_GRID,
+    PAPER_TARGETS,
+    Cell,
+    ExperimentRunner,
+)
+from repro.experiments.table1 import TABLE1_TARGETS, table1
+
+__all__ = [
+    "Cell",
+    "ExperimentRunner",
+    "FIG6_TARGETS",
+    "PAPER_CONSTRAINT_GRID",
+    "PAPER_TARGETS",
+    "TABLE1_TARGETS",
+    "ablation_quant_mode",
+    "ablation_wlo_engines",
+    "ablation_wlo_slp_features",
+    "validation_table",
+    "fig4_panel",
+    "fig4_table",
+    "fig6_series",
+    "fig6_table",
+    "render_fig4",
+    "render_fig6",
+    "table1",
+]

@@ -1,0 +1,88 @@
+"""Figure 4: SIMD speedups of WLO-First and WLO-SLP vs. constraint.
+
+One panel per (kernel, target): the speedup of each flow's SIMD code
+over the WLO-First *scalar* fixed-point baseline (paper eq. (2)),
+plotted against the accuracy constraint in dB.  The paper's claims for
+this figure, which ``EXPERIMENTS.md`` checks:
+
+* WLO-SLP beats or ties WLO-First almost everywhere;
+* WLO-First frequently lands *below* 1x (SLP-blind WLO degrades);
+* both converge toward 1x at the strictest constraints;
+* VEX-1 gains exceed VEX-4 gains (ILP absorbs SIMD benefit).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    PAPER_CONSTRAINT_GRID,
+    PAPER_TARGETS,
+    Cell,
+    ExperimentRunner,
+)
+from repro.report.ascii_plot import line_plot
+from repro.report.tables import TextTable
+
+__all__ = ["fig4_panel", "fig4_table", "render_fig4"]
+
+
+def fig4_panel(
+    runner: ExperimentRunner,
+    kernel: str,
+    target: str,
+    grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+) -> dict[str, list[tuple[float, float]]]:
+    """The two speedup series of one panel."""
+    cells = runner.sweep(kernel, target, grid)
+    return {
+        "WLO-FIRST": [(c.constraint_db, c.wlo_first_speedup) for c in cells],
+        "WLO-SLP": [(c.constraint_db, c.wlo_slp_speedup) for c in cells],
+    }
+
+
+def fig4_table(
+    runner: ExperimentRunner,
+    kernels: tuple[str, ...] = ("fir", "iir", "conv"),
+    targets: tuple[str, ...] = PAPER_TARGETS,
+    grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+) -> TextTable:
+    """All panels as one flat table (kernel, target, constraint)."""
+    table = TextTable(
+        headers=(
+            "kernel", "target", "constraint_db",
+            "scalar_cycles", "wlo_first_speedup", "wlo_slp_speedup",
+            "wlo_first_groups", "wlo_slp_groups",
+        ),
+        title="Fig. 4 — SIMD speedup over scalar fixed-point (WLO-First baseline)",
+    )
+    for kernel in kernels:
+        for target in targets:
+            for cell in runner.sweep(kernel, target, grid):
+                table.add_row(
+                    kernel, target, cell.constraint_db,
+                    cell.scalar_cycles,
+                    round(cell.wlo_first_speedup, 3),
+                    round(cell.wlo_slp_speedup, 3),
+                    cell.wlo_first_groups, cell.wlo_slp_groups,
+                )
+    return table
+
+
+def render_fig4(
+    runner: ExperimentRunner,
+    kernels: tuple[str, ...] = ("fir", "iir", "conv"),
+    targets: tuple[str, ...] = PAPER_TARGETS,
+    grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+) -> str:
+    """Full text rendering: one ASCII plot per panel plus the table."""
+    sections = []
+    for kernel in kernels:
+        for target in targets:
+            series = fig4_panel(runner, kernel, target, grid)
+            sections.append(line_plot(
+                series,
+                title=f"Fig. 4 panel — {kernel.upper()} on {target}",
+                y_label="speedup",
+                x_label="accuracy constraint (dB)",
+            ))
+    sections.append(fig4_table(runner, kernels, targets, grid).render())
+    return "\n\n".join(sections)

@@ -1,0 +1,60 @@
+"""Fixed-point arithmetic substrate.
+
+Formats, quantization, interval arithmetic, dynamic-range analysis,
+IWL determination, the journaled fixed-point specification and the
+bit-accurate interpreter.
+"""
+
+from repro.fixedpoint.fxpinterp import (
+    FixedPointInterpreter,
+    FxpConfig,
+    run_fixed_point,
+)
+from repro.fixedpoint.interval import Interval
+from repro.fixedpoint.iwl import assign_iwls, iwl_for_interval, iwl_for_magnitude
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    OverflowMode,
+    QuantMode,
+    apply_overflow,
+    float_to_mantissa,
+    mantissa_to_float,
+    quantize_value,
+    requantize,
+    saturate,
+    wrap,
+)
+from repro.fixedpoint.range_analysis import (
+    RangeResult,
+    analyze_ranges,
+    interval_ranges,
+    simulation_ranges,
+)
+from repro.fixedpoint.spec import NO_NARROW, FixedPointSpec, SlotMap
+
+__all__ = [
+    "FixedPointInterpreter",
+    "FixedPointSpec",
+    "FxpConfig",
+    "Interval",
+    "NO_NARROW",
+    "OverflowMode",
+    "QFormat",
+    "QuantMode",
+    "RangeResult",
+    "SlotMap",
+    "analyze_ranges",
+    "apply_overflow",
+    "assign_iwls",
+    "float_to_mantissa",
+    "interval_ranges",
+    "iwl_for_interval",
+    "iwl_for_magnitude",
+    "mantissa_to_float",
+    "quantize_value",
+    "requantize",
+    "run_fixed_point",
+    "saturate",
+    "simulation_ranges",
+    "wrap",
+]

@@ -1,0 +1,100 @@
+"""Interval arithmetic.
+
+The dynamic-range analysis of ID.Fix-style flows ("IWL determination
+... using interval arithmetic", paper Section III-A) is implemented on
+this small interval domain.  Intervals are closed: ``[lo, hi]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FixedPointError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise FixedPointError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """The degenerate interval containing a single value."""
+        return Interval(value, value)
+
+    @staticmethod
+    def symmetric(magnitude: float) -> "Interval":
+        """The interval [-magnitude, +magnitude]."""
+        magnitude = abs(magnitude)
+        return Interval(-magnitude, magnitude)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (all conservative / exact for these monotone cases)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return Interval(min(products), max(products))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def abs(self) -> "Interval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def min_with(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_with(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def join(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (lattice join)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen_relative(self, factor: float) -> "Interval":
+        """Grow both bounds by ``factor`` of the magnitude (margining)."""
+        pad = factor * max(abs(self.lo), abs(self.hi))
+        return Interval(self.lo - pad, self.hi + pad)
+
+    # ------------------------------------------------------------------
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def encloses(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    @property
+    def magnitude(self) -> float:
+        """Largest absolute value in the interval."""
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def __str__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"

@@ -1,0 +1,52 @@
+"""Integer word-length determination.
+
+Given value ranges, choose the minimal ``iwl`` whose representable
+range covers them (paper Section II-B step (i)).  Exact powers of two
+at the positive extreme are allowed to saturate by one quantum — the
+universal Q-format convention that lets ``[-1, 1]``-normalized signals
+use ``iwl = 1`` (Q1.x) rather than wasting a bit on the single value
+``+1.0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fixedpoint.interval import Interval
+from repro.fixedpoint.range_analysis import RangeResult
+from repro.fixedpoint.spec import FixedPointSpec
+
+__all__ = ["iwl_for_magnitude", "iwl_for_interval", "assign_iwls"]
+
+#: Relative shrink applied before taking log2, so that magnitudes equal
+#: to an exact power of two round *down* (saturating one quantum).
+_POW2_TOLERANCE = 1.0 - 2.0 ** -24
+
+
+def iwl_for_magnitude(magnitude: float, min_iwl: int = 1) -> int:
+    """Minimal ``iwl`` representing values of the given magnitude."""
+    magnitude = abs(magnitude) * _POW2_TOLERANCE
+    if magnitude <= 0.0:
+        return min_iwl
+    return max(min_iwl, 1 + math.ceil(math.log2(magnitude)))
+
+
+def iwl_for_interval(interval: Interval, min_iwl: int = 1) -> int:
+    """Minimal ``iwl`` covering an interval."""
+    return iwl_for_magnitude(interval.magnitude, min_iwl)
+
+
+def assign_iwls(
+    spec: FixedPointSpec, ranges: RangeResult, min_iwl: int = 1
+) -> None:
+    """Write range-derived ``iwl``s into every tie group of ``spec``.
+
+    Word lengths are left untouched; fractional word lengths follow
+    implicitly (``fwl = wl - iwl``).
+    """
+    for root in spec.slotmap.roots:
+        interval = ranges.ranges.get(root)
+        if interval is None:
+            spec.set_iwl(root, min_iwl)
+        else:
+            spec.set_iwl(root, iwl_for_interval(interval, min_iwl))

@@ -1,0 +1,84 @@
+"""Fixed-point formats.
+
+A :class:`QFormat` is the paper's ``<IWL, FWL>`` pair: a signed two's
+complement number with ``iwl`` integer bits (including the sign bit)
+and ``fwl`` fractional bits, stored in ``wl = iwl + fwl`` bits.  The
+represented value of mantissa ``m`` is ``m * 2**-fwl``.
+
+``fwl`` may be negative (very coarse formats whose quantum exceeds 1)
+and ``iwl`` may exceed ``wl`` (formats that cannot represent small
+magnitudes exactly); both arise naturally during word-length
+optimization when a wide dynamic range must fit a narrow word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FixedPointError
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True, order=True)
+class QFormat:
+    """A signed fixed-point format ``<iwl, fwl>`` with ``wl = iwl + fwl``."""
+
+    iwl: int
+    fwl: int
+
+    def __post_init__(self) -> None:
+        if self.wl < 1:
+            raise FixedPointError(
+                f"format <{self.iwl},{self.fwl}> has non-positive word length"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def wl(self) -> int:
+        """Total word length in bits (sign bit included in ``iwl``)."""
+        return self.iwl + self.fwl
+
+    @property
+    def quantum(self) -> float:
+        """Weight of the least significant bit (2**-fwl)."""
+        return 2.0 ** -self.fwl
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return -(2.0 ** (self.iwl - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable value."""
+        return 2.0 ** (self.iwl - 1) - self.quantum
+
+    @property
+    def min_mantissa(self) -> int:
+        return -(1 << (self.wl - 1))
+
+    @property
+    def max_mantissa(self) -> int:
+        return (1 << (self.wl - 1)) - 1
+
+    # ------------------------------------------------------------------
+    def with_wl(self, wl: int) -> "QFormat":
+        """Same binary-point position class, different word length.
+
+        Keeps ``iwl`` (the dynamic range) and gives the remaining bits
+        to the fraction — the operation word-length optimization
+        performs when it narrows a node.
+        """
+        return QFormat(self.iwl, wl - self.iwl)
+
+    def with_fwl(self, fwl: int) -> "QFormat":
+        """Same word length, moved binary point (SCALOPTIM's move)."""
+        return QFormat(self.wl - fwl, fwl)
+
+    def contains_value(self, value: float) -> bool:
+        """True when ``value`` lies in the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return f"<{self.iwl},{self.fwl}>"

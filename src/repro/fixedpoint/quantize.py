@@ -1,0 +1,119 @@
+"""Integer-level quantization primitives.
+
+These are the bit-exact building blocks shared by the fixed-point
+interpreter and the generated C semantics: requantization between
+fractional precisions, two's complement wrap, and saturation.  All
+mantissas are Python ints (arbitrary precision), so intermediate
+products never overflow the host.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import FixedPointError, OverflowPolicyError
+
+__all__ = [
+    "QuantMode",
+    "OverflowMode",
+    "requantize",
+    "wrap",
+    "saturate",
+    "apply_overflow",
+    "float_to_mantissa",
+    "mantissa_to_float",
+    "quantize_value",
+]
+
+
+class QuantMode(str, enum.Enum):
+    """How discarded fractional bits are disposed of.
+
+    ``TRUNCATE`` is two's complement truncation (round toward -inf),
+    the paper's default; ``ROUND`` is round-half-up.
+    """
+
+    TRUNCATE = "truncate"
+    ROUND = "round"
+
+
+class OverflowMode(str, enum.Enum):
+    """What happens when a value exceeds its word length."""
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+    ERROR = "error"
+
+
+def requantize(mantissa: int, f_from: int, f_to: int, mode: QuantMode) -> int:
+    """Re-express ``mantissa`` (``f_from`` fractional bits) with ``f_to``.
+
+    Increasing precision is exact (left shift); decreasing precision
+    discards bits according to ``mode``.
+    """
+    if f_to >= f_from:
+        return mantissa << (f_to - f_from)
+    shift = f_from - f_to
+    if mode is QuantMode.ROUND:
+        return (mantissa + (1 << (shift - 1))) >> shift
+    return mantissa >> shift  # Python >> floors: two's complement truncation.
+
+
+def wrap(mantissa: int, wl: int) -> int:
+    """Two's complement wrap of ``mantissa`` into ``wl`` bits."""
+    if wl < 1:
+        raise FixedPointError(f"word length must be >= 1, got {wl}")
+    span = 1 << wl
+    m = mantissa & (span - 1)
+    if m >= (span >> 1):
+        m -= span
+    return m
+
+
+def saturate(mantissa: int, wl: int) -> int:
+    """Clamp ``mantissa`` into the signed ``wl``-bit range."""
+    if wl < 1:
+        raise FixedPointError(f"word length must be >= 1, got {wl}")
+    lo = -(1 << (wl - 1))
+    hi = (1 << (wl - 1)) - 1
+    if mantissa < lo:
+        return lo
+    if mantissa > hi:
+        return hi
+    return mantissa
+
+
+def apply_overflow(mantissa: int, wl: int, mode: OverflowMode) -> int:
+    """Dispose of overflow according to ``mode``."""
+    if mode is OverflowMode.WRAP:
+        return wrap(mantissa, wl)
+    if mode is OverflowMode.SATURATE:
+        return saturate(mantissa, wl)
+    if wrap(mantissa, wl) != mantissa:
+        raise OverflowPolicyError(
+            f"mantissa {mantissa} does not fit {wl} bits"
+        )
+    return mantissa
+
+
+def float_to_mantissa(value: float, fwl: int, mode: QuantMode) -> int:
+    """Quantize a real ``value`` to an unbounded mantissa at ``fwl``."""
+    scaled = value * (2.0 ** fwl)
+    if mode is QuantMode.ROUND:
+        return math.floor(scaled + 0.5)
+    return math.floor(scaled)
+
+
+def mantissa_to_float(mantissa: int, fwl: int) -> float:
+    """The real value represented by ``mantissa`` at ``fwl``."""
+    return mantissa * (2.0 ** -fwl)
+
+
+def quantize_value(value: float, fwl: int, mode: QuantMode) -> float:
+    """Round-trip a real value through a ``fwl``-bit fraction.
+
+    No word-length clipping is applied; use this to compute the pure
+    quantization residue of coefficients.
+    """
+    return mantissa_to_float(float_to_mantissa(value, fwl, mode), fwl)

@@ -1,0 +1,16 @@
+"""End-to-end compilation flows (paper Figs. 3 and 5, plus float)."""
+
+from repro.flows.common import AnalysisContext, FlowResult, speedup
+from repro.flows.floatflow import run_float
+from repro.flows.wlo_first import WloFirstResult, run_wlo_first
+from repro.flows.wlo_slp import run_wlo_slp
+
+__all__ = [
+    "AnalysisContext",
+    "FlowResult",
+    "WloFirstResult",
+    "run_float",
+    "run_wlo_first",
+    "run_wlo_slp",
+    "speedup",
+]

@@ -1,0 +1,31 @@
+"""Floating-point reference flow.
+
+Lowers the program as single-precision float (hardware FPU where the
+target has one, serialized soft-float emulation elsewhere) and counts
+cycles — the reference of the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.flows.common import FlowResult
+from repro.codegen.floatgen import lower_float_program
+from repro.ir.program import Program
+from repro.scheduler.cycles import program_cycles
+from repro.targets.model import TargetModel
+
+__all__ = ["run_float"]
+
+
+def run_float(program: Program, target: TargetModel) -> FlowResult:
+    """Cycle count of the original floating-point version."""
+    lowered = lower_float_program(program, target)
+    cycles = program_cycles(program, lowered, target)
+    return FlowResult(
+        flow="float",
+        program_name=program.name,
+        target_name=target.name,
+        constraint_db=float("nan"),
+        spec=None,
+        cycles=cycles,
+        noise_db=None,
+    )

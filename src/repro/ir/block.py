@@ -1,0 +1,98 @@
+"""Basic blocks.
+
+A block is an ordered list of operations executed once per iteration of
+its enclosing loop nest.  The order is program order; def-before-use is
+enforced by validation.  Blocks know their loop context (variables and
+trip counts of enclosing loops), from which the execution-count
+*priority* of the paper's Fig. 1a is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+
+__all__ = ["BasicBlock"]
+
+
+@dataclass
+class BasicBlock:
+    """An ordered sequence of operations plus loop context.
+
+    Attributes
+    ----------
+    name:
+        Unique block name within the program.
+    ops:
+        Operations in program order.
+    loop_vars:
+        Names of enclosing loop variables, outermost first.
+    trip_counts:
+        Trip counts of the enclosing loops, aligned with ``loop_vars``.
+    """
+
+    name: str
+    ops: list[Operation] = field(default_factory=list)
+    loop_vars: tuple[str, ...] = ()
+    trip_counts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.loop_vars) != len(self.trip_counts):
+            raise IRError(
+                f"block {self.name!r}: loop_vars/trip_counts length mismatch"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def executions(self) -> int:
+        """Number of times the block runs per program execution.
+
+        This is the product of enclosing trip counts and is the
+        priority key used to order blocks for SLP extraction (paper
+        Section III-A: most performance-impacting blocks first).
+        """
+        total = 1
+        for trips in self.trip_counts:
+            total *= trips
+        return total
+
+    @property
+    def innermost_var(self) -> str | None:
+        """Innermost enclosing loop variable, if any."""
+        return self.loop_vars[-1] if self.loop_vars else None
+
+    def op_by_id(self, opid: int) -> Operation:
+        """Look up an operation of this block by id."""
+        for op in self.ops:
+            if op.opid == opid:
+                return op
+        raise IRError(f"block {self.name!r} has no op {opid}")
+
+    def position(self, opid: int) -> int:
+        """Program-order position of ``opid`` within the block."""
+        for pos, op in enumerate(self.ops):
+            if op.opid == opid:
+                return pos
+        raise IRError(f"block {self.name!r} has no op {opid}")
+
+    def arithmetic_ops(self) -> list[Operation]:
+        """Operations that cost machine instructions (non moves)."""
+        return [
+            op for op in self.ops
+            if op.kind not in (OpKind.READVAR, OpKind.WRITEVAR, OpKind.CONST)
+        ]
+
+    def stores(self) -> list[Operation]:
+        return [op for op in self.ops if op.kind is OpKind.STORE]
+
+    def loads(self) -> list[Operation]:
+        return [op for op in self.ops if op.kind is OpKind.LOAD]
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)

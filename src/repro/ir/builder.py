@@ -1,0 +1,291 @@
+"""Fluent construction API for IR programs.
+
+The builder provides the ergonomics of writing a kernel "like C": loop
+context managers, operator-overloaded value handles and affine index
+expressions.  All the paper's benchmarks (``repro.kernels``) are built
+through this API, and so are user kernels in the examples.
+
+Example
+-------
+>>> from repro.ir import ProgramBuilder, loop_index
+>>> b = ProgramBuilder("scale")
+>>> x = b.input_array("x", (8,), value_range=(-1.0, 1.0))
+>>> y = b.output_array("y", (8,))
+>>> with b.loop("i", 8):
+...     with b.block("body"):
+...         v = b.load(x, loop_index("i"))
+...         b.store(y, loop_index("i"), v * b.const(0.5))
+>>> prog = b.build()
+>>> prog.n_ops
+4
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.block import BasicBlock
+from repro.ir.index import AffineIndex, loop_index
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+from repro.ir.program import BlockRef, LoopNode, Program
+from repro.ir.symbols import ArrayDecl, SymbolKind, VarDecl
+
+__all__ = ["ProgramBuilder", "Val", "loop_index"]
+
+
+@dataclass(frozen=True)
+class Val:
+    """Handle to the value produced by an operation.
+
+    Supports arithmetic operators so kernels read naturally:
+    ``acc = acc + x * h``.
+    """
+
+    opid: int
+    _builder: "ProgramBuilder"
+
+    def __add__(self, other: "Val") -> "Val":
+        return self._builder.add(self, other)
+
+    def __sub__(self, other: "Val") -> "Val":
+        return self._builder.sub(self, other)
+
+    def __mul__(self, other: "Val") -> "Val":
+        return self._builder.mul(self, other)
+
+    def __neg__(self) -> "Val":
+        return self._builder.neg(self)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`~repro.ir.Program`."""
+
+    def __init__(self, name: str) -> None:
+        self._program = Program(name)
+        self._next_opid = 0
+        self._loop_stack: list[LoopNode] = []
+        self._current_block: BasicBlock | None = None
+        self._block_counter = 0
+
+    # ------------------------------------------------------------------
+    # Symbols
+    # ------------------------------------------------------------------
+    def input_array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        value_range: tuple[float, float],
+    ) -> ArrayDecl:
+        """Declare an environment-supplied input array."""
+        return self._declare_array(
+            ArrayDecl(name, shape, SymbolKind.INPUT, value_range=value_range)
+        )
+
+    def output_array(self, name: str, shape: tuple[int, ...]) -> ArrayDecl:
+        """Declare an output array (accuracy is measured on its stores)."""
+        return self._declare_array(ArrayDecl(name, shape, SymbolKind.OUTPUT))
+
+    def state_array(self, name: str, shape: tuple[int, ...]) -> ArrayDecl:
+        """Declare a zero-initialized loop-carried state array."""
+        return self._declare_array(ArrayDecl(name, shape, SymbolKind.STATE))
+
+    def coeff_array(self, name: str, values: Sequence[float] | np.ndarray) -> ArrayDecl:
+        """Declare a compile-time constant coefficient array."""
+        arr = np.asarray(values, dtype=np.float64)
+        return self._declare_array(
+            ArrayDecl(name, arr.shape, SymbolKind.COEFF, values=arr)
+        )
+
+    def scalar(self, name: str, init: float = 0.0) -> VarDecl:
+        """Declare a scalar variable (loop-carried register)."""
+        if name in self._program.variables or name in self._program.arrays:
+            raise IRError(f"symbol {name!r} already declared")
+        decl = VarDecl(name, init=init)
+        self._program.variables[name] = decl
+        return decl
+
+    def _declare_array(self, decl: ArrayDecl) -> ArrayDecl:
+        if decl.name in self._program.arrays or decl.name in self._program.variables:
+            raise IRError(f"symbol {decl.name!r} already declared")
+        self._program.arrays[decl.name] = decl
+        return decl
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, var: str, trip: int) -> Iterator[None]:
+        """Open a counted loop ``for var in range(trip)``."""
+        if self._current_block is not None:
+            raise IRError("cannot open a loop inside a block")
+        node = LoopNode(var, trip)
+        self._schedule_items().append(node)
+        self._loop_stack.append(node)
+        try:
+            yield
+        finally:
+            popped = self._loop_stack.pop()
+            assert popped is node
+
+    @contextlib.contextmanager
+    def block(self, name: str | None = None) -> Iterator[BasicBlock]:
+        """Open a basic block at the current loop nesting level."""
+        if self._current_block is not None:
+            raise IRError("blocks cannot nest")
+        if name is None:
+            name = f"bb{self._block_counter}"
+        self._block_counter += 1
+        if name in self._program.blocks:
+            raise IRError(f"block {name!r} already exists")
+        block = BasicBlock(name)
+        self._program.blocks[name] = block
+        self._schedule_items().append(BlockRef(name))
+        self._current_block = block
+        try:
+            yield block
+        finally:
+            self._current_block = None
+
+    def _schedule_items(self) -> list:
+        if self._loop_stack:
+            return self._loop_stack[-1].body
+        return self._program.schedule
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _emit(self, kind: OpKind, **kwargs) -> Val:
+        if self._current_block is None:
+            raise IRError("operations must be emitted inside a block")
+        op = Operation(
+            opid=self._next_opid,
+            kind=kind,
+            block=self._current_block.name,
+            **kwargs,
+        )
+        self._next_opid += 1
+        self._current_block.ops.append(op)
+        return Val(op.opid, self)
+
+    @staticmethod
+    def _as_index(ix: AffineIndex | int | str) -> AffineIndex:
+        if isinstance(ix, AffineIndex):
+            return ix
+        if isinstance(ix, int):
+            return AffineIndex.constant(ix)
+        if isinstance(ix, str):
+            return loop_index(ix)
+        raise IRError(f"cannot interpret {ix!r} as an array index")
+
+    def const(self, value: float, label: str = "") -> Val:
+        """Emit a literal constant."""
+        return self._emit(OpKind.CONST, value=float(value), label=label)
+
+    def load(
+        self,
+        array: ArrayDecl | str,
+        *index: AffineIndex | int | str,
+        label: str = "",
+    ) -> Val:
+        """Emit a load from ``array`` at the given affine subscript."""
+        name = array if isinstance(array, str) else array.name
+        decl = self._program.arrays.get(name)
+        if decl is None:
+            raise IRError(f"load from undeclared array {name!r}")
+        if len(index) != decl.rank:
+            raise IRError(
+                f"load {name!r}: got {len(index)} subscripts, rank {decl.rank}"
+            )
+        subs = tuple(self._as_index(ix) for ix in index)
+        return self._emit(OpKind.LOAD, array=name, index=subs, label=label)
+
+    def store(
+        self,
+        array: ArrayDecl | str,
+        index: AffineIndex | int | str | tuple,
+        value: Val,
+        label: str = "",
+    ) -> Val:
+        """Emit a store of ``value`` into ``array`` at ``index``."""
+        name = array if isinstance(array, str) else array.name
+        decl = self._program.arrays.get(name)
+        if decl is None:
+            raise IRError(f"store to undeclared array {name!r}")
+        if decl.kind is SymbolKind.COEFF:
+            raise IRError(f"cannot store to coefficient array {name!r}")
+        raw = index if isinstance(index, tuple) else (index,)
+        if len(raw) != decl.rank:
+            raise IRError(
+                f"store {name!r}: got {len(raw)} subscripts, rank {decl.rank}"
+            )
+        subs = tuple(self._as_index(ix) for ix in raw)
+        return self._emit(
+            OpKind.STORE,
+            operands=(value.opid,),
+            array=name,
+            index=subs,
+            label=label,
+        )
+
+    def getvar(self, var: VarDecl | str, label: str = "") -> Val:
+        """Emit a read of a scalar variable."""
+        name = var if isinstance(var, str) else var.name
+        if name not in self._program.variables:
+            raise IRError(f"read of undeclared variable {name!r}")
+        return self._emit(OpKind.READVAR, var=name, label=label)
+
+    def setvar(self, var: VarDecl | str, value: Val, label: str = "") -> Val:
+        """Emit a write of a scalar variable."""
+        name = var if isinstance(var, str) else var.name
+        if name not in self._program.variables:
+            raise IRError(f"write of undeclared variable {name!r}")
+        return self._emit(
+            OpKind.WRITEVAR, operands=(value.opid,), var=name, label=label
+        )
+
+    def _binary(self, kind: OpKind, a: Val, b: Val, label: str) -> Val:
+        self._check_same_builder(a, b)
+        return self._emit(kind, operands=(a.opid, b.opid), label=label)
+
+    def add(self, a: Val, b: Val, label: str = "") -> Val:
+        return self._binary(OpKind.ADD, a, b, label)
+
+    def sub(self, a: Val, b: Val, label: str = "") -> Val:
+        return self._binary(OpKind.SUB, a, b, label)
+
+    def mul(self, a: Val, b: Val, label: str = "") -> Val:
+        return self._binary(OpKind.MUL, a, b, label)
+
+    def min_(self, a: Val, b: Val, label: str = "") -> Val:
+        return self._binary(OpKind.MIN, a, b, label)
+
+    def max_(self, a: Val, b: Val, label: str = "") -> Val:
+        return self._binary(OpKind.MAX, a, b, label)
+
+    def neg(self, a: Val, label: str = "") -> Val:
+        return self._emit(OpKind.NEG, operands=(a.opid,), label=label)
+
+    def abs_(self, a: Val, label: str = "") -> Val:
+        return self._emit(OpKind.ABS, operands=(a.opid,), label=label)
+
+    def _check_same_builder(self, *vals: Val) -> None:
+        for val in vals:
+            if val._builder is not self:
+                raise IRError("mixing values from different builders")
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalize and validate the program."""
+        if self._loop_stack or self._current_block is not None:
+            raise IRError("build() called with open loop or block")
+        program = self._program.finalize()
+        from repro.ir.validate import validate_program
+
+        validate_program(program)
+        return program

@@ -1,0 +1,151 @@
+"""Affine index expressions.
+
+Array subscripts in the IR are affine functions of the enclosing loop
+variables, e.g. ``x[n + 4*k + 3]`` is ``AffineIndex({"n": 1, "k": 4}, 3)``.
+Affine form is what makes dependence testing and SIMD contiguity checks
+decidable: two accesses with identical linear parts differ by a compile
+time constant, which is exactly the question SLP packing asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import IRError
+
+__all__ = ["AffineIndex", "loop_index"]
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An affine function ``sum(coeff_i * var_i) + const`` of loop vars.
+
+    Instances are immutable and hashable; ``terms`` is stored as a
+    sorted tuple of ``(var, coeff)`` pairs with zero coefficients
+    dropped, so structurally equal indices compare equal.
+    """
+
+    terms: tuple[tuple[str, int], ...] = field(default=())
+    const: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(sorted((v, c) for v, c in self.terms if c != 0))
+        object.__setattr__(self, "terms", cleaned)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def constant(value: int) -> "AffineIndex":
+        """An index that does not depend on any loop variable."""
+        return AffineIndex((), value)
+
+    @staticmethod
+    def of(mapping: Mapping[str, int], const: int = 0) -> "AffineIndex":
+        """Build an index from a ``{var: coeff}`` mapping."""
+        return AffineIndex(tuple(mapping.items()), const)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _term_map(self) -> dict[str, int]:
+        return dict(self.terms)
+
+    def __add__(self, other: "AffineIndex | int") -> "AffineIndex":
+        if isinstance(other, int):
+            return AffineIndex(self.terms, self.const + other)
+        merged = self._term_map()
+        for var, coeff in other.terms:
+            merged[var] = merged.get(var, 0) + coeff
+        return AffineIndex(tuple(merged.items()), self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "AffineIndex | int") -> "AffineIndex":
+        if isinstance(other, int):
+            return AffineIndex(self.terms, self.const - other)
+        return self + other.scaled(-1)
+
+    def __mul__(self, factor: int) -> "AffineIndex":
+        return self.scaled(factor)
+
+    __rmul__ = __mul__
+
+    def scaled(self, factor: int) -> "AffineIndex":
+        """Multiply every coefficient and the constant by ``factor``."""
+        return AffineIndex(
+            tuple((v, c * factor) for v, c in self.terms),
+            self.const * factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Loop variables appearing with non-zero coefficient."""
+        return tuple(v for v, _ in self.terms)
+
+    def is_constant(self) -> bool:
+        """True when the index does not reference any loop variable."""
+        return not self.terms
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under concrete loop-variable values.
+
+        Raises :class:`~repro.errors.IRError` if a referenced variable
+        is missing from ``env``.
+        """
+        total = self.const
+        for var, coeff in self.terms:
+            if var not in env:
+                raise IRError(f"loop variable {var!r} unbound in index {self}")
+            total += coeff * env[var]
+        return total
+
+    def constant_offset_from(self, other: "AffineIndex") -> int | None:
+        """Distance to ``other`` when both share the same linear part.
+
+        Returns ``self - other`` as an integer when the two indices have
+        identical variable terms (so their difference is a compile-time
+        constant), and ``None`` otherwise.  This is the primitive used
+        both for dependence disambiguation and for contiguity checks.
+        """
+        if self.terms != other.terms:
+            return None
+        return self.const - other.const
+
+    def bounds(self, extents: Mapping[str, tuple[int, int]]) -> tuple[int, int]:
+        """Min/max value over loop ranges ``{var: (lo, hi)}`` (inclusive)."""
+        lo = hi = self.const
+        for var, coeff in self.terms:
+            if var not in extents:
+                raise IRError(f"loop variable {var!r} has no extent")
+            vlo, vhi = extents[var]
+            if coeff >= 0:
+                lo += coeff * vlo
+                hi += coeff * vhi
+            else:
+                lo += coeff * vhi
+                hi += coeff * vlo
+        return lo, hi
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var, coeff in self.terms:
+            if coeff == 1:
+                parts.append(var)
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+
+def loop_index(var: str) -> AffineIndex:
+    """The index expression consisting of a single loop variable."""
+    return AffineIndex(((var, 1),), 0)

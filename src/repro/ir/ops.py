@@ -1,0 +1,127 @@
+"""IR operations.
+
+An :class:`Operation` is an SSA-like node inside a basic block.  Value
+operands reference other operations *of the same block* by id; all
+communication across blocks or loop iterations goes through arrays or
+scalar variables.  This keeps every basic block a DAG, which is the
+precondition for both SLP extraction and list scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.index import AffineIndex
+from repro.ir.optypes import (
+    BINARY_KINDS,
+    UNARY_KINDS,
+    OpKind,
+    operand_count,
+)
+
+__all__ = ["Operation"]
+
+
+@dataclass(eq=False)
+class Operation:
+    """A single IR operation.
+
+    Attributes
+    ----------
+    opid:
+        Program-global integer id; also the operation's format slot in
+        the fixed-point specification.
+    kind:
+        The operation kind.
+    block:
+        Name of the owning basic block.
+    operands:
+        Ids of the operations producing the value operands, in order.
+    array / index:
+        For ``LOAD``/``STORE``: the accessed array and its affine
+        subscript (one :class:`AffineIndex` per dimension).
+    var:
+        For ``READVAR``/``WRITEVAR``: the scalar variable name.
+    value:
+        For ``CONST``: the literal value.
+    """
+
+    opid: int
+    kind: OpKind
+    block: str
+    operands: tuple[int, ...] = ()
+    array: str | None = None
+    index: tuple[AffineIndex, ...] | None = None
+    var: str | None = None
+    value: float | None = None
+    #: Free-form label used by printers and debugging (e.g. "acc0 +=").
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        expected = operand_count(self.kind)
+        if len(self.operands) != expected:
+            raise IRError(
+                f"op {self.opid} ({self.kind.value}): expected {expected} "
+                f"operands, got {len(self.operands)}"
+            )
+        if self.kind in (OpKind.LOAD, OpKind.STORE):
+            if self.array is None or self.index is None:
+                raise IRError(
+                    f"op {self.opid} ({self.kind.value}) needs array and index"
+                )
+        elif self.kind in (OpKind.READVAR, OpKind.WRITEVAR):
+            if self.var is None:
+                raise IRError(
+                    f"op {self.opid} ({self.kind.value}) needs a variable name"
+                )
+        elif self.kind is OpKind.CONST:
+            if self.value is None:
+                raise IRError(f"const op {self.opid} needs a value")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_binary(self) -> bool:
+        return self.kind in BINARY_KINDS
+
+    @property
+    def is_unary(self) -> bool:
+        return self.kind in UNARY_KINDS
+
+    @property
+    def produces_value(self) -> bool:
+        """True unless the op is a pure side effect (store/var write)."""
+        return self.kind not in (OpKind.STORE, OpKind.WRITEVAR)
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.kind in (OpKind.LOAD, OpKind.STORE)
+
+    def isomorphic_to(self, other: "Operation") -> bool:
+        """True when the two ops perform the same kind of computation.
+
+        Isomorphism is the SLP pairing precondition: same kind, and for
+        memory ops the same array rank (so a single vector instruction
+        can implement both lanes).  Operand formats are checked
+        separately by the word-length machinery.
+        """
+        if self.kind is not other.kind:
+            return False
+        if self.touches_memory:
+            assert other.index is not None and self.index is not None
+            return len(self.index) == len(other.index)
+        return True
+
+    def __repr__(self) -> str:
+        detail = ""
+        if self.array is not None and self.index is not None:
+            subs = ", ".join(str(ix) for ix in self.index)
+            detail = f" {self.array}[{subs}]"
+        elif self.var is not None:
+            detail = f" ${self.var}"
+        elif self.value is not None:
+            detail = f" {self.value}"
+        args = "" if not self.operands else " " + str(list(self.operands))
+        return f"<%{self.opid} = {self.kind.value}{detail}{args}>"

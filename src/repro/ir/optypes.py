@@ -1,0 +1,101 @@
+"""Operation kinds of the repro IR.
+
+The IR is deliberately small: it models the straight-line, affine-index
+DSP kernels that word-length optimization papers operate on.  Every
+value-producing operation is one of the kinds below; control flow is
+expressed structurally by the loop tree of :class:`repro.ir.Program`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "OpKind",
+    "ARITHMETIC_KINDS",
+    "BINARY_KINDS",
+    "UNARY_KINDS",
+    "COMMUTATIVE_KINDS",
+    "MEMORY_KINDS",
+    "VAR_KINDS",
+    "VALUE_PRODUCING_KINDS",
+    "SIMDIZABLE_KINDS",
+]
+
+
+class OpKind(str, Enum):
+    """Kind of an IR operation."""
+
+    #: Floating-point literal (coefficients embedded in code).
+    CONST = "const"
+    #: Read an array element at an affine index.
+    LOAD = "load"
+    #: Write an array element at an affine index.
+    STORE = "store"
+    #: Read a scalar variable (loop-carried register).
+    READVAR = "readvar"
+    #: Write a scalar variable (loop-carried register).
+    WRITEVAR = "writevar"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    NEG = "neg"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpKind.{self.name}"
+
+
+#: Kinds computing an arithmetic function of their operands.
+ARITHMETIC_KINDS = frozenset(
+    {OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.NEG, OpKind.ABS,
+     OpKind.MIN, OpKind.MAX}
+)
+
+#: Arithmetic kinds taking exactly two operands.
+BINARY_KINDS = frozenset(
+    {OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.MIN, OpKind.MAX}
+)
+
+#: Arithmetic kinds taking exactly one operand.
+UNARY_KINDS = frozenset({OpKind.NEG, OpKind.ABS})
+
+#: Binary kinds whose operands may be swapped freely.
+COMMUTATIVE_KINDS = frozenset(
+    {OpKind.ADD, OpKind.MUL, OpKind.MIN, OpKind.MAX}
+)
+
+#: Kinds that touch memory.
+MEMORY_KINDS = frozenset({OpKind.LOAD, OpKind.STORE})
+
+#: Kinds that touch scalar variables.
+VAR_KINDS = frozenset({OpKind.READVAR, OpKind.WRITEVAR})
+
+#: Kinds that produce a value usable as an operand.
+VALUE_PRODUCING_KINDS = frozenset(
+    {OpKind.CONST, OpKind.LOAD, OpKind.READVAR} | ARITHMETIC_KINDS
+)
+
+#: Kinds eligible for SLP grouping.  Variable accesses are register
+#: moves that vanish during code generation, and constants are
+#: immediates, so neither is grouped.
+SIMDIZABLE_KINDS = frozenset(
+    ARITHMETIC_KINDS | {OpKind.LOAD, OpKind.STORE}
+)
+
+
+def operand_count(kind: OpKind) -> int:
+    """Number of *value* operands expected by ``kind``.
+
+    Loads, constants and variable reads take none; stores and variable
+    writes take the single value being written.
+    """
+    if kind in BINARY_KINDS:
+        return 2
+    if kind in UNARY_KINDS:
+        return 1
+    if kind in (OpKind.STORE, OpKind.WRITEVAR):
+        return 1
+    return 0

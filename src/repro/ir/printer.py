@@ -1,0 +1,74 @@
+"""Human-readable IR dumps (C-like pseudocode)."""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+from repro.ir.program import BlockRef, LoopNode, Program
+
+__all__ = ["format_op", "format_block", "format_program"]
+
+_INFIX = {
+    OpKind.ADD: "+",
+    OpKind.SUB: "-",
+    OpKind.MUL: "*",
+}
+
+
+def format_op(op: Operation) -> str:
+    """One-line rendering of a single operation."""
+    if op.kind is OpKind.CONST:
+        rhs = f"{op.value!r}"
+    elif op.kind is OpKind.LOAD:
+        subs = "][".join(str(ix) for ix in op.index or ())
+        rhs = f"{op.array}[{subs}]"
+    elif op.kind is OpKind.STORE:
+        subs = "][".join(str(ix) for ix in op.index or ())
+        return f"{op.array}[{subs}] = %{op.operands[0]}"
+    elif op.kind is OpKind.READVAR:
+        rhs = f"${op.var}"
+    elif op.kind is OpKind.WRITEVAR:
+        return f"${op.var} = %{op.operands[0]}"
+    elif op.kind in _INFIX:
+        a, b = op.operands
+        rhs = f"%{a} {_INFIX[op.kind]} %{b}"
+    elif op.is_binary:
+        a, b = op.operands
+        rhs = f"{op.kind.value}(%{a}, %{b})"
+    else:
+        rhs = f"{op.kind.value}(%{op.operands[0]})"
+    suffix = f"    ; {op.label}" if op.label else ""
+    return f"%{op.opid} = {rhs}{suffix}"
+
+
+def format_block(block: BasicBlock, indent: str = "") -> str:
+    """Multi-line rendering of a basic block."""
+    lines = [f"{indent}block {block.name}:"]
+    for op in block.ops:
+        lines.append(f"{indent}  {format_op(op)}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Full program dump: symbols, then the loop tree with blocks."""
+    lines: list[str] = [f"program {program.name}:"]
+    for decl in program.arrays.values():
+        extra = f" range={decl.value_range}" if decl.value_range else ""
+        lines.append(
+            f"  array {decl.name}{list(decl.shape)} : {decl.kind.value}{extra}"
+        )
+    for var in program.variables.values():
+        lines.append(f"  var ${var.name} = {var.init}")
+
+    def visit(items, depth: int) -> None:
+        pad = "  " * depth
+        for item in items:
+            if isinstance(item, BlockRef):
+                lines.append(format_block(program.blocks[item.name], pad))
+            elif isinstance(item, LoopNode):
+                lines.append(f"{pad}for {item.var} in 0..{item.trip - 1}:")
+                visit(item.body, depth + 1)
+
+    visit(program.schedule, 1)
+    return "\n".join(lines)

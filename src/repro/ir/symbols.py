@@ -1,0 +1,139 @@
+"""Program symbols: arrays and scalar variables.
+
+Arrays are the only inter-block / inter-iteration storage besides
+scalar variables.  Their *kind* drives both semantics and the accuracy
+model:
+
+* ``INPUT`` arrays are supplied by the environment, are annotated with
+  a value range (the paper's pragma annotations) and carry an input
+  quantization noise source once a finite format is chosen.
+* ``OUTPUT`` arrays define where accuracy is measured.
+* ``STATE`` arrays hold loop-carried history (e.g. the IIR feedback
+  taps) and are zero-initialized.
+* ``COEFF`` arrays hold compile-time constants (filter coefficients);
+  their values are known to the optimizer, which is what makes the
+  kernels linear time-invariant systems.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IRError
+
+__all__ = ["SymbolKind", "ArrayDecl", "VarDecl"]
+
+
+class SymbolKind(str, enum.Enum):
+    """Storage class of an array symbol."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    STATE = "state"
+    COEFF = "coeff"
+
+
+@dataclass
+class ArrayDecl:
+    """Declaration of an array symbol.
+
+    Parameters
+    ----------
+    name:
+        Unique symbol name.
+    shape:
+        Array extents; one or two dimensions are supported.
+    kind:
+        Storage class, see :class:`SymbolKind`.
+    values:
+        Compile-time contents, required for ``COEFF`` arrays.
+    value_range:
+        ``(lo, hi)`` bound on the values held by the array.  Mandatory
+        for ``INPUT`` arrays (it seeds range analysis); derived for the
+        other kinds.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    kind: SymbolKind
+    values: np.ndarray | None = None
+    value_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("array name must be non-empty")
+        if len(self.shape) not in (1, 2):
+            raise IRError(
+                f"array {self.name!r}: only 1-D/2-D arrays supported, "
+                f"got shape {self.shape}"
+            )
+        if any(extent <= 0 for extent in self.shape):
+            raise IRError(f"array {self.name!r}: non-positive extent in {self.shape}")
+        if self.kind is SymbolKind.COEFF:
+            if self.values is None:
+                raise IRError(f"coefficient array {self.name!r} needs values")
+            self.values = np.asarray(self.values, dtype=np.float64)
+            if self.values.shape != self.shape:
+                raise IRError(
+                    f"coefficient array {self.name!r}: values shape "
+                    f"{self.values.shape} != declared {self.shape}"
+                )
+            if self.value_range is None:
+                lo = float(self.values.min())
+                hi = float(self.values.max())
+                self.value_range = (lo, hi)
+        if self.kind is SymbolKind.INPUT and self.value_range is None:
+            raise IRError(
+                f"input array {self.name!r} needs a value_range annotation"
+            )
+        if self.value_range is not None:
+            lo, hi = self.value_range
+            if lo > hi:
+                raise IRError(
+                    f"array {self.name!r}: empty value range ({lo}, {hi})"
+                )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions (1 or 2)."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        size = 1
+        for extent in self.shape:
+            size *= extent
+        return size
+
+    def row_stride(self) -> int:
+        """Linear stride between consecutive rows (row-major layout)."""
+        return self.shape[1] if self.rank == 2 else 1
+
+
+@dataclass
+class VarDecl:
+    """Declaration of a scalar variable (a loop-carried register).
+
+    Scalar variables are the accumulator registers of the kernels.  In
+    generated code they live in machine registers, so reading/writing
+    them costs nothing; they exist in the IR to express loop-carried
+    dataflow explicitly.
+    """
+
+    name: str
+    init: float = 0.0
+    value_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("variable name must be non-empty")
+        if self.value_range is not None:
+            lo, hi = self.value_range
+            if lo > hi:
+                raise IRError(
+                    f"variable {self.name!r}: empty value range ({lo}, {hi})"
+                )

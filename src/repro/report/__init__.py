@@ -1,0 +1,6 @@
+"""Text rendering of experiment results (tables, ASCII figures)."""
+
+from repro.report.ascii_plot import line_plot
+from repro.report.tables import TextTable
+
+__all__ = ["TextTable", "line_plot"]

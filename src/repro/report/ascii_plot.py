@@ -1,0 +1,93 @@
+"""Terminal line plots.
+
+Renders the paper's figures as character grids so the benchmark
+harness can "draw" Fig. 4 / Fig. 6 in CI logs.  One glyph per series;
+points are plotted on a y-scaled grid over evenly spaced x positions
+(the figures' x axes are categorical constraint grids).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot ``{label: [(x, y), ...]}`` as an ASCII grid.
+
+    X values are treated as ordered categories (evenly spaced); y is
+    linearly scaled between the observed extremes, padded slightly so
+    extreme points stay visible.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs: list[float] = sorted({x for x, _ in points})
+    y_lo = min(y for _, y in points)
+    y_hi = max(y for _, y in points)
+    if y_hi == y_lo:
+        y_hi += 0.5
+        y_lo -= 0.5
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        index = xs.index(x)
+        if len(xs) == 1:
+            return width // 2
+        return round(index * (width - 1) / (len(xs) - 1))
+
+    def row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for glyph, (label, pts) in zip(_GLYPHS, series.items()):
+        ordered = sorted(pts)
+        # connect consecutive points with interpolated glyph dots
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                grid[row(y)][c] = "." if 0 < t < 1 else glyph
+        for x, y in ordered:
+            grid[row(y)][col(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.2f}"
+    bottom_label = f"{y_lo:.2f}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for r, grid_row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(grid_row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_ticks = "  ".join(f"{x:g}" for x in xs)
+    lines.append(" " * (label_width + 2) + x_ticks + (f"   [{x_label}]" if x_label else ""))
+    legend = "   ".join(
+        f"{glyph}={label}" for glyph, label in zip(_GLYPHS, series.keys())
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

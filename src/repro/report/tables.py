@@ -1,0 +1,84 @@
+"""Aligned text tables with CSV/JSON export.
+
+The experiment harness renders every paper table/figure as text (the
+environment has no plotting stack), and persists machine-readable
+copies next to them for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["TextTable"]
+
+
+@dataclass
+class TextTable:
+    """A small immutable-ish table: headers plus string-able cells."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width rendering with a header rule."""
+        cells = [[str(h) for h in self.headers]]
+        cells += [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(row[col]) for row in cells)
+            for col in range(len(self.headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            cell.ljust(width) for cell, width in zip(cells[0], widths)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """CSV text; also written to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """JSON records; also written to ``path`` when given."""
+        records = [
+            dict(zip(self.headers, row)) for row in self.rows
+        ]
+        text = json.dumps({"title": self.title, "rows": records}, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,14 @@
+"""VLIW cycle-level scheduling — the repository's processor simulator."""
+
+from repro.scheduler.cycles import CycleReport, program_cycles
+from repro.scheduler.list_scheduler import Schedule, schedule_block
+from repro.scheduler.machineop import MachineBlock, MachineOp
+
+__all__ = [
+    "CycleReport",
+    "MachineBlock",
+    "MachineOp",
+    "Schedule",
+    "program_cycles",
+    "schedule_block",
+]

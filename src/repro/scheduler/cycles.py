@@ -1,0 +1,81 @@
+"""Whole-program cycle model.
+
+Combines per-block schedules with the loop tree: a loop costs
+``trip * (body + loop overhead)``; a block costs its schedule length.
+The result is the "number of cycles spent executing the benchmark" of
+the paper's eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.ir.program import BlockRef, LoopNode, Program
+from repro.scheduler.list_scheduler import Schedule, schedule_block
+from repro.scheduler.machineop import MachineBlock
+from repro.targets.model import TargetModel
+
+__all__ = ["CycleReport", "program_cycles"]
+
+
+@dataclass
+class CycleReport:
+    """Cycle counts of a lowered program on a target."""
+
+    program_name: str
+    target_name: str
+    total_cycles: int
+    block_schedules: dict[str, Schedule] = field(default_factory=dict)
+    #: dynamic instruction count (ops weighted by executions).
+    dynamic_ops: int = 0
+
+    def block_cycles(self, name: str) -> int:
+        return self.block_schedules[name].length
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.program_name} on {self.target_name}: "
+            f"{self.total_cycles} cycles, {self.dynamic_ops} dynamic ops"
+        ]
+        for name, sched in sorted(self.block_schedules.items()):
+            lines.append(
+                f"  block {name}: {sched.length} cycles/iter, "
+                f"{sched.n_ops} ops, ipc {sched.ipc:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def program_cycles(
+    program: Program,
+    lowered: dict[str, MachineBlock],
+    target: TargetModel,
+) -> CycleReport:
+    """Schedule every block and fold the loop tree into total cycles."""
+    schedules: dict[str, Schedule] = {}
+    for name, mblock in lowered.items():
+        schedules[name] = schedule_block(mblock, target)
+
+    overhead = target.loop_overhead_cycles()
+
+    def cost(items) -> int:
+        total = 0
+        for item in items:
+            if isinstance(item, BlockRef):
+                if item.name not in schedules:
+                    raise SchedulerError(
+                        f"block {item.name!r} was not lowered"
+                    )
+                total += schedules[item.name].length
+            elif isinstance(item, LoopNode):
+                body = cost(item.body)
+                total += item.trip * (body + overhead)
+        return total
+
+    total = cost(program.schedule)
+    dynamic_ops = 0
+    for name, block in program.blocks.items():
+        dynamic_ops += len(lowered[name].ops) * block.executions
+    return CycleReport(
+        program.name, target.name, total, schedules, dynamic_ops
+    )

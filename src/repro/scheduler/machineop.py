@@ -1,0 +1,69 @@
+"""Machine-level operations.
+
+Lowering (``repro.codegen``) translates IR blocks into lists of
+:class:`MachineOp`; the list scheduler packs them into VLIW issue
+slots.  A machine op knows its functional-unit class and latency —
+both resolved against the target model at lowering time — plus its
+dependence predecessors within the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineOp", "MachineBlock"]
+
+
+@dataclass
+class MachineOp:
+    """One machine instruction in a lowered block."""
+
+    mid: int
+    name: str
+    unit: str
+    latency: int
+    preds: tuple[int, ...] = ()
+    #: SIMD lane count (1 = scalar); informational.
+    lanes: int = 1
+    #: Originating IR op, when there is a 1:1 correspondence.
+    origin: int | None = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"machine op {self.name!r}: latency must be >= 1")
+
+
+@dataclass
+class MachineBlock:
+    """A lowered basic block: machine ops plus bookkeeping."""
+
+    name: str
+    ops: list[MachineOp] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        unit: str,
+        latency: int,
+        preds: tuple[int, ...] = (),
+        lanes: int = 1,
+        origin: int | None = None,
+        comment: str = "",
+    ) -> int:
+        """Append an op; returns its machine id."""
+        mid = len(self.ops)
+        self.ops.append(
+            MachineOp(mid, name, unit, latency, preds, lanes, origin, comment)
+        )
+        return mid
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def op_histogram(self) -> dict[str, int]:
+        """Instruction mix, for reports and tests."""
+        histogram: dict[str, int] = {}
+        for op in self.ops:
+            histogram[op.name] = histogram.get(op.name, 0) + 1
+        return histogram

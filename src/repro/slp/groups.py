@@ -1,0 +1,121 @@
+"""SIMD groups.
+
+A :class:`SIMDGroup` is an ordered tuple of isomorphic, independent
+operations of one basic block that will execute as lanes of a single
+SIMD instruction, at the lane word length given by the paper's
+eq. (1).  ``GroupSet`` is the per-block collection with the lookup
+structure the benefit estimator, the scaling optimizer and the SIMD
+lowering all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SLPError
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+
+__all__ = ["SIMDGroup", "GroupSet", "memory_lane_stride"]
+
+
+@dataclass(frozen=True)
+class SIMDGroup:
+    """An ordered set of lanes implemented by one SIMD instruction."""
+
+    gid: int
+    block: str
+    kind: OpKind
+    lanes: tuple[int, ...]
+    #: Lane word length (paper eq. (1)).
+    wl: int
+
+    def __post_init__(self) -> None:
+        if len(self.lanes) < 2:
+            raise SLPError(f"group {self.gid}: needs >= 2 lanes")
+        if len(set(self.lanes)) != len(self.lanes):
+            raise SLPError(f"group {self.gid}: duplicate lanes {self.lanes}")
+
+    @property
+    def size(self) -> int:
+        return len(self.lanes)
+
+    def lane_of(self, opid: int) -> int:
+        try:
+            return self.lanes.index(opid)
+        except ValueError:
+            raise SLPError(f"op {opid} not in group {self.gid}") from None
+
+
+@dataclass
+class GroupSet:
+    """All SIMD groups of one block, with op -> (group, lane) lookup."""
+
+    block: str
+    groups: list[SIMDGroup] = field(default_factory=list)
+    _by_op: dict[int, tuple[SIMDGroup, int]] = field(default_factory=dict)
+
+    def add(self, group: SIMDGroup) -> None:
+        if group.block != self.block:
+            raise SLPError(
+                f"group {group.gid} belongs to block {group.block!r}, "
+                f"not {self.block!r}"
+            )
+        for lane, opid in enumerate(group.lanes):
+            if opid in self._by_op:
+                raise SLPError(f"op {opid} is already in a group")
+            self._by_op[opid] = (group, lane)
+        self.groups.append(group)
+
+    def group_of(self, opid: int) -> tuple[SIMDGroup, int] | None:
+        """(group, lane) containing ``opid``, or None."""
+        return self._by_op.get(opid)
+
+    def producer_group(self, lanes: tuple[int, ...]) -> SIMDGroup | None:
+        """The group whose lanes are exactly ``lanes`` in order."""
+        first = self._by_op.get(lanes[0])
+        if first is None:
+            return None
+        group, lane = first
+        if lane != 0 or group.lanes != lanes:
+            return None
+        return group
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+def memory_lane_stride(program: Program, lanes: tuple[int, ...]) -> int | None:
+    """Constant flat-address stride between successive memory lanes.
+
+    Returns the per-lane stride (in elements) when all lanes access the
+    same array with subscripts differing by a uniform constant, and
+    ``None`` otherwise.  A stride of +1 is the vector-load/store case.
+    """
+    first = program.op(lanes[0])
+    if first.array is None:
+        return None
+    decl = program.arrays[first.array]
+    stride: int | None = None
+    for prev, cur in zip(lanes, lanes[1:]):
+        a = program.op(prev)
+        b = program.op(cur)
+        if b.array != first.array:
+            return None
+        assert a.index is not None and b.index is not None
+        flat = 0
+        scale = 1
+        for dim in range(decl.rank - 1, -1, -1):
+            diff = b.index[dim].constant_offset_from(a.index[dim])
+            if diff is None:
+                return None
+            flat += diff * scale
+            scale *= decl.shape[dim]
+        if stride is None:
+            stride = flat
+        elif stride != flat:
+            return None
+    return stride

@@ -1,0 +1,40 @@
+"""Target lookup by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TargetError
+from repro.targets.model import TargetModel
+from repro.targets.st240 import st240
+from repro.targets.vex import vex
+from repro.targets.xentium import xentium
+
+__all__ = ["get_target", "available_targets", "register_target"]
+
+_FACTORIES: dict[str, Callable[[], TargetModel]] = {
+    "xentium": xentium,
+    "st240": st240,
+    "vex-1": lambda: vex(1),
+    "vex-4": lambda: vex(4),
+}
+
+
+def get_target(name: str) -> TargetModel:
+    """Build a target model by name (case-insensitive)."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise TargetError(
+            f"unknown target {name!r}; available: {available_targets()}"
+        )
+    return factory()
+
+
+def available_targets() -> list[str]:
+    """Names accepted by :func:`get_target`."""
+    return sorted(_FACTORIES)
+
+
+def register_target(name: str, factory: Callable[[], TargetModel]) -> None:
+    """Register a custom target (used by examples and tests)."""
+    _FACTORIES[name.lower()] = factory

@@ -1,0 +1,29 @@
+"""ST Microelectronics ST240 target model.
+
+A 4-issue VLIW media processor of the ST200 family (paper Section
+V-B): 32-bit, 2x16-bit integer SIMD, and — unlike the other targets —
+hardware single-precision floating point, which is why the paper's
+Fig. 6 float-versus-fixed speedups stay near 1x on it.
+"""
+
+from __future__ import annotations
+
+from repro.targets.model import TargetModel
+
+__all__ = ["st240"]
+
+
+def st240() -> TargetModel:
+    """The ST240 model used throughout the experiments."""
+    return TargetModel(
+        name="st240",
+        issue_width=4,
+        scalar_wl=32,
+        simd_widths=(16,),
+        units={"alu": 4, "mul": 2, "mem": 1, "sfu": 1},
+        latencies={"alu": 1, "mul": 3, "mem": 3},
+        has_hw_float=True,
+        float_latencies={"fadd": 3, "fmul": 3},
+        barrel_shifter=True,
+        branch_penalty=1,
+    )

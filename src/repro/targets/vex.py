@@ -1,0 +1,39 @@
+"""VEX target models.
+
+VEX is HP's parameterizable VLIW architecture (paper Section V-B); the
+paper instantiates it at issue widths 1 and 4 and adds 16-bit *and*
+8-bit integer SIMD extensions — the only targets here that can form
+4-element groups (4x8), which is what exercises the group-widening
+loop of Fig. 1a beyond pairs.  VEX has no FPU; float code is emulated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TargetError
+from repro.targets.model import TargetModel
+
+__all__ = ["vex"]
+
+
+def vex(issue_width: int) -> TargetModel:
+    """A VEX cluster at the given issue width (paper uses 1 and 4)."""
+    if issue_width < 1:
+        raise TargetError(f"VEX issue width must be >= 1, got {issue_width}")
+    units = {
+        "alu": max(1, issue_width),
+        "mul": max(1, issue_width // 2),
+        "mem": max(1, issue_width // 4),
+        "sfu": 1,
+    }
+    return TargetModel(
+        name=f"vex-{issue_width}",
+        issue_width=issue_width,
+        scalar_wl=32,
+        simd_widths=(16, 8),
+        units=units,
+        latencies={"alu": 1, "mul": 2, "mem": 2},
+        has_hw_float=False,
+        softfloat_cycles={"fadd": 35, "fsub": 37, "fmul": 30},
+        barrel_shifter=True,
+        branch_penalty=1,
+    )

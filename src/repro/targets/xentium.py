@@ -1,0 +1,30 @@
+"""Recore XENTIUM target model.
+
+An ultra-low-power 32-bit VLIW DSP core (paper Section V-B): 12-issue,
+2x16-bit integer SIMD, no floating-point hardware.  Unit counts follow
+the Xentium datapath (two MAC-capable units, one load/store path, the
+rest ALU-class); they are calibration parameters of the cycle model,
+not claims about the RTL — see DESIGN.md Section 6.
+"""
+
+from __future__ import annotations
+
+from repro.targets.model import TargetModel
+
+__all__ = ["xentium"]
+
+
+def xentium() -> TargetModel:
+    """The XENTIUM model used throughout the experiments."""
+    return TargetModel(
+        name="xentium",
+        issue_width=12,
+        scalar_wl=32,
+        simd_widths=(16,),
+        units={"alu": 6, "mul": 2, "mem": 1, "sfu": 1},
+        latencies={"alu": 1, "mul": 2, "mem": 2},
+        has_hw_float=False,
+        softfloat_cycles={"fadd": 38, "fsub": 40, "fmul": 27},
+        barrel_shifter=True,
+        branch_penalty=1,
+    )

@@ -1,0 +1,28 @@
+"""Word-length optimization engines."""
+
+from repro.wlo.cost import wl_relative_cost
+from repro.wlo.greedy import GreedyResult, max_minus_one, min_plus_one
+from repro.wlo.scaling import (
+    ScalingStats,
+    lane_shifts,
+    optimize_scalings,
+    superword_reuses,
+)
+from repro.wlo.slp_aware import WloSlpOutcome, wlo_slp_optimize
+from repro.wlo.tabu import TabuConfig, TabuResult, tabu_wlo
+
+__all__ = [
+    "GreedyResult",
+    "ScalingStats",
+    "TabuConfig",
+    "TabuResult",
+    "WloSlpOutcome",
+    "lane_shifts",
+    "max_minus_one",
+    "min_plus_one",
+    "optimize_scalings",
+    "superword_reuses",
+    "tabu_wlo",
+    "wl_relative_cost",
+    "wlo_slp_optimize",
+]

@@ -1,0 +1,50 @@
+"""Word-length-relative cost model for the decoupled WLO baselines.
+
+Menard et al.'s assumption (paper Section II-B / V-A): the relative
+execution time of an instruction is proportional to the word length it
+operates on — a 32-bit scalar op costs 1, a 16-bit op costs 0.5
+(because a 2x16 SIMD instruction *would* retire two of them), an 8-bit
+op 0.25.  This is precisely the "very optimistic and unrealistic"
+assumption the paper criticizes: it prices SIMD without knowing
+whether grouping is possible or what packing would cost.  We implement
+it faithfully because the WLO-First baseline needs it.
+"""
+
+from __future__ import annotations
+
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+from repro.targets.model import TargetModel
+
+__all__ = ["wl_relative_cost"]
+
+#: Op kinds that translate into machine instructions (register moves
+#: and constants do not).
+_COSTING_KINDS = frozenset({
+    OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.MIN, OpKind.MAX,
+    OpKind.NEG, OpKind.ABS, OpKind.LOAD, OpKind.STORE,
+})
+
+
+def wl_relative_cost(
+    program: Program, spec: FixedPointSpec, target: TargetModel
+) -> float:
+    """Execution-time estimate under the optimistic WL-relative model.
+
+    Each costing operation contributes ``executions * wl/datapath``:
+    at 32 bits the full op, at 16 bits half (assuming perfect 2x16
+    SIMDization), at 8 bits a quarter.  Word lengths outside the
+    supported set are charged at the next wider supported width.
+    """
+    supported = sorted(target.supported_wls)
+    total = 0.0
+    for block in program.blocks.values():
+        weight = float(block.executions)
+        for op in block.ops:
+            if op.kind not in _COSTING_KINDS:
+                continue
+            wl = spec.wl(op.opid)
+            effective = next((w for w in supported if w >= wl), supported[-1])
+            total += weight * (effective / target.scalar_wl)
+    return total

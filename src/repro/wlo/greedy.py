@@ -1,0 +1,122 @@
+"""Greedy word-length optimization baselines.
+
+The two classic single-direction procedures of the WLO literature,
+kept as ablation baselines against the Tabu search:
+
+* ``max_minus_one`` — start from maximum word lengths (feasible) and
+  greedily narrow whichever tie group yields the largest cost saving
+  while staying feasible;
+* ``min_plus_one`` — start from minimum word lengths (usually
+  infeasible) and greedily widen whichever tie group buys the most
+  noise reduction per unit of cost until feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accuracy.analytical import AccuracyModel
+from repro.errors import WLOError
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.program import Program
+from repro.targets.model import TargetModel
+from repro.wlo.cost import wl_relative_cost
+
+__all__ = ["GreedyResult", "max_minus_one", "min_plus_one"]
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy WLO run."""
+
+    cost: float
+    moves: int
+    evaluations: int
+
+
+def max_minus_one(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    target: TargetModel,
+    constraint_db: float,
+) -> GreedyResult:
+    """Greedy narrowing from the all-maximum assignment."""
+    roots = spec.slotmap.roots
+    supported = sorted(target.supported_wls)
+    for root in roots:
+        spec.set_wl(root, target.max_wl)
+    if model.violates(spec, constraint_db):
+        raise WLOError(
+            f"constraint {constraint_db} dB infeasible at maximum word lengths"
+        )
+    moves = 0
+    evaluations = 0
+    while True:
+        best: tuple[float, int, int] | None = None
+        for root in roots:
+            narrower = [w for w in supported if w < spec.wl(root)]
+            if not narrower:
+                continue
+            wl = max(narrower)
+            token = spec.save()
+            spec.set_wl(root, wl)
+            evaluations += 1
+            if not model.violates(spec, constraint_db):
+                cost = wl_relative_cost(program, spec, target)
+                key = (cost, root, wl)
+                if best is None or key < best:
+                    best = key
+            spec.revert(token)
+        if best is None:
+            break
+        _cost, root, wl = best
+        spec.set_wl(root, wl)
+        moves += 1
+    return GreedyResult(wl_relative_cost(program, spec, target), moves, evaluations)
+
+
+def min_plus_one(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    target: TargetModel,
+    constraint_db: float,
+    max_moves: int = 10_000,
+) -> GreedyResult:
+    """Greedy widening from the all-minimum assignment."""
+    roots = spec.slotmap.roots
+    supported = sorted(target.supported_wls)
+    for root in roots:
+        spec.set_wl(root, supported[0])
+    moves = 0
+    evaluations = 0
+    while model.violates(spec, constraint_db):
+        if moves >= max_moves:
+            raise WLOError("min_plus_one did not reach feasibility")
+        best: tuple[float, int, int] | None = None
+        current_noise = model.noise_power(spec)
+        for root in roots:
+            wider = [w for w in supported if w > spec.wl(root)]
+            if not wider:
+                continue
+            wl = min(wider)
+            token = spec.save()
+            spec.set_wl(root, wl)
+            evaluations += 1
+            gain = current_noise - model.noise_power(spec)
+            added_cost = wl - supported[0]
+            score = gain / max(added_cost, 1)
+            spec.revert(token)
+            key = (-score, root, wl)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise WLOError(
+                f"constraint {constraint_db} dB infeasible even at maximum "
+                "word lengths"
+            )
+        _score, root, wl = best
+        spec.set_wl(root, wl)
+        moves += 1
+    return GreedyResult(wl_relative_cost(program, spec, target), moves, evaluations)

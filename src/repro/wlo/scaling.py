@@ -1,0 +1,194 @@
+"""SLP-aware scaling optimization (paper Fig. 1b, ``SCALOPTIM``).
+
+When a superword produced by group ``g1`` is reused by group ``g2``,
+each lane may require a different alignment shift (the lanes have
+independent fixed-point formats).  Embedded SIMD ISAs only shift all
+lanes by the same amount, so non-uniform shift vectors force an
+unpack / scalar-shift / repack sequence — the Fig. 2 scenario that can
+erase the benefit of SLP.
+
+``optimize_scalings`` walks every superword-reuse edge and, when the
+per-lane shift amounts are positive but unequal, trades fractional
+bits for uniformity (word lengths never change — the binary point
+moves, ``fwl`` shrinks, ``iwl`` grows), accepting each fix only if the
+accuracy constraint still holds.
+
+Where the paper's pseudocode adjusts one fixed side, this
+implementation tries the *producer* side first (uniformize to the
+smallest shift — the least destructive choice) and falls back to the
+*consumer* side (uniformize to the largest shift) when producer lanes
+share a tie group and cannot take distinct formats; the accuracy
+check guards both, preserving Fig. 1b's semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accuracy.analytical import AccuracyModel
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+from repro.slp.groups import GroupSet, SIMDGroup
+
+__all__ = ["ScalingStats", "lane_shifts", "superword_reuses", "optimize_scalings"]
+
+
+@dataclass
+class ScalingStats:
+    """Outcome counters of one SCALOPTIM run."""
+
+    reuse_edges: int = 0
+    already_uniform: int = 0
+    fixed_producer_side: int = 0
+    fixed_consumer_side: int = 0
+    rejected_by_accuracy: int = 0
+    skipped_negative: int = 0
+    skipped_untieable: int = 0
+
+    @property
+    def fixed(self) -> int:
+        return self.fixed_producer_side + self.fixed_consumer_side
+
+
+def superword_reuses(
+    groups: GroupSet, program: Program
+) -> list[tuple[SIMDGroup, SIMDGroup, int]]:
+    """All (producer group, consumer group, operand position) edges."""
+    reuses = []
+    for consumer in groups:
+        arity = len(program.op(consumer.lanes[0]).operands)
+        for pos in range(arity):
+            producers = tuple(
+                program.op(opid).operands[pos] for opid in consumer.lanes
+            )
+            producer = groups.producer_group(producers)
+            if producer is not None:
+                reuses.append((producer, consumer, pos))
+    return reuses
+
+
+def lane_shifts(
+    spec: FixedPointSpec,
+    program: Program,
+    consumer: SIMDGroup,
+    pos: int,
+) -> list[int]:
+    """Per-lane right-shift amounts required at a reuse edge.
+
+    Positive amounts discard fractional bits (right shifts); negative
+    amounts are exact left shifts.  A uniform vector means one SIMD
+    shift instruction (or none, if all zero).
+    """
+    shifts = []
+    for opid in consumer.lanes:
+        op = program.op(opid)
+        producer = op.operands[pos]
+        f_src = spec.fwl(producer)
+        if op.kind is OpKind.MUL:
+            f_dst = spec.consumption_fwl(opid, pos)
+        else:
+            f_dst = spec.fwl(opid)
+        shifts.append(f_src - f_dst)
+    return shifts
+
+
+def optimize_scalings(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    constraint_db: float,
+    groups: GroupSet,
+) -> ScalingStats:
+    """Uniformize reuse-edge shift vectors under the accuracy budget."""
+    stats = ScalingStats()
+    for producer, consumer, pos in superword_reuses(groups, program):
+        stats.reuse_edges += 1
+        shifts = lane_shifts(spec, program, consumer, pos)
+        if len(set(shifts)) == 1:
+            stats.already_uniform += 1
+            continue
+        if any(s < 0 for s in shifts):
+            stats.skipped_negative += 1
+            continue
+        if _fix_producer_side(program, spec, model, constraint_db,
+                              producer, shifts, stats):
+            continue
+        _fix_consumer_side(program, spec, model, constraint_db,
+                           consumer, pos, shifts, stats)
+    return stats
+
+
+def _fix_producer_side(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    constraint_db: float,
+    producer: SIMDGroup,
+    shifts: list[int],
+    stats: ScalingStats,
+) -> bool:
+    """Reduce producer-lane FWLs so every lane needs shift ``min(S)``."""
+    target_shift = min(shifts)
+    deltas = [s - target_shift for s in shifts]
+    # Lanes sharing a tie group must agree on their reduction.
+    per_root: dict[int, int] = {}
+    for opid, delta in zip(producer.lanes, deltas):
+        root = spec.slotmap.root_of(opid)
+        if per_root.setdefault(root, delta) != delta:
+            stats.skipped_untieable += 1
+            return False
+    token = spec.save()
+    for opid, delta in zip(producer.lanes, deltas):
+        if delta:
+            spec.set_fwl(opid, spec.fwl(opid) - delta)
+    if model.violates(spec, constraint_db):
+        spec.revert(token)
+        stats.rejected_by_accuracy += 1
+        return False
+    stats.fixed_producer_side += 1
+    return True
+
+
+def _fix_consumer_side(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    constraint_db: float,
+    consumer: SIMDGroup,
+    pos: int,
+    shifts: list[int],
+    stats: ScalingStats,
+) -> bool:
+    """Deepen consumer-side consumption so every lane shifts ``max(S)``."""
+    target_shift = max(shifts)
+    if consumer.kind is OpKind.STORE:
+        stats.skipped_untieable += 1  # one array, one format: nothing to move
+        return False
+    per_root: dict[int, int] = {}
+    plan: list[tuple[int, int]] = []
+    for opid, shift in zip(consumer.lanes, shifts):
+        op = program.op(opid)
+        src = op.operands[pos]
+        f_src = spec.fwl(src)
+        if op.kind is OpKind.MUL:
+            plan.append((opid, spec.iwl(src) + f_src - target_shift))
+        else:
+            wanted_fwl = f_src - target_shift
+            root = spec.slotmap.root_of(opid)
+            if per_root.setdefault(root, wanted_fwl) != wanted_fwl:
+                stats.skipped_untieable += 1
+                return False
+            plan.append((opid, wanted_fwl))
+    token = spec.save()
+    for opid, value in plan:
+        if program.op(opid).kind is OpKind.MUL:
+            spec.set_edge_wl(opid, pos, value)
+        else:
+            spec.set_fwl(opid, value)
+    if model.violates(spec, constraint_db):
+        spec.revert(token)
+        stats.rejected_by_accuracy += 1
+        return False
+    stats.fixed_consumer_side += 1
+    return True

@@ -1,0 +1,156 @@
+"""SLP-aware word-length optimization (paper Fig. 1a) — the
+contribution of the reproduced paper.
+
+Joint algorithm: start from maximum word lengths (the most accurate
+natively supported spec, and the one with least SLP); process basic
+blocks in execution-count priority order; inside each block run the
+accuracy-aware SLP extraction (Fig. 1c) repeatedly, widening groups as
+long as new selections land; then uniformize scaling shifts
+(SCALOPTIM, Fig. 1b).  Word lengths are *derived from grouping
+decisions* via eq. (1) rather than searched independently — this is
+what makes the accuracy budget land exactly on the operations SIMD can
+exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accuracy.analytical import AccuracyModel
+from repro.errors import WLOError
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.deps import build_dependence_graph
+from repro.ir.program import Program
+from repro.slp.accuracy_aware import slp_round_accuracy_aware
+from repro.slp.benefit import BenefitEstimator
+from repro.slp.candidates import initial_items
+from repro.slp.extraction import (
+    SelectionStats,
+    build_group_set,
+    merge_items,
+)
+from repro.slp.groups import GroupSet
+from repro.targets.model import TargetModel
+from repro.wlo.boundary import harmonize_boundary_wls
+from repro.wlo.scaling import ScalingStats, optimize_scalings
+
+__all__ = ["WloSlpOutcome", "wlo_slp_optimize"]
+
+
+@dataclass
+class WloSlpOutcome:
+    """Result of the joint optimization: groups per block + statistics."""
+
+    groups: dict[str, GroupSet] = field(default_factory=dict)
+    selection: SelectionStats = field(default_factory=SelectionStats)
+    scaling: ScalingStats = field(default_factory=ScalingStats)
+    boundary_moves: int = 0
+
+    @property
+    def n_groups(self) -> int:
+        return sum(len(gs) for gs in self.groups.values())
+
+    def groups_of(self, block: str) -> GroupSet:
+        return self.groups[block]
+
+
+def wlo_slp_optimize(
+    program: Program,
+    spec: FixedPointSpec,
+    model: AccuracyModel,
+    target: TargetModel,
+    constraint_db: float,
+    harmonize: bool = True,
+    scaloptim: bool = True,
+    accuracy_conflicts: bool = True,
+) -> WloSlpOutcome:
+    """Run the joint WLO + SLP extraction, mutating ``spec`` in place.
+
+    ``harmonize`` enables the boundary word-length pass (see
+    ``repro.wlo.boundary``); it only ever narrows ungrouped nodes under
+    the accuracy guard.  ``scaloptim`` and ``accuracy_conflicts`` turn
+    off Fig. 1b and the accuracy-conflict class of Fig. 1c for the
+    ablation benchmarks.  Raises :class:`WLOError` when the constraint
+    is infeasible even at maximum word lengths (nothing any WLO could
+    do).
+    """
+    for root in spec.slotmap.roots:
+        spec.set_wl(root, target.max_wl)
+    if model.violates(spec, constraint_db):
+        raise WLOError(
+            f"accuracy constraint {constraint_db} dB is infeasible at "
+            f"{target.max_wl}-bit word lengths"
+        )
+
+    outcome = WloSlpOutcome()
+    for block in program.blocks_by_priority():
+        items = initial_items(block)
+        if len(items) < 2 or target.max_group_size < 2:
+            outcome.groups[block.name] = GroupSet(block.name)
+            continue
+        deps = build_dependence_graph(block)
+        estimator = BenefitEstimator(program, block)
+        while True:
+            selected = slp_round_accuracy_aware(
+                program, block, items, deps, target, spec, model,
+                constraint_db, estimator, outcome.selection,
+                accuracy_conflicts=accuracy_conflicts,
+            )
+            if not selected:
+                break
+            items = merge_items(items, selected)
+        group_set = build_group_set(block, items, program, spec)
+        if scaloptim:
+            scaling = optimize_scalings(
+                program, spec, model, constraint_db, group_set
+            )
+            _merge_scaling_stats(outcome.scaling, scaling)
+        outcome.groups[block.name] = group_set
+    if harmonize:
+        all_groups = [
+            group
+            for group_set in outcome.groups.values()
+            for group in group_set
+        ]
+        grouped_ops = {opid for group in all_groups for opid in group.lanes}
+        outcome.boundary_moves = harmonize_boundary_wls(
+            program, spec, model, target, constraint_db, grouped_ops,
+            groups=all_groups,
+        )
+        # Group word lengths may have moved below their eq. (1) maxima:
+        # refresh the (frozen) group records from the spec.
+        outcome.groups = {
+            name: _refresh_group_wls(group_set, spec)
+            for name, group_set in outcome.groups.items()
+        }
+        if scaloptim:
+            # Boundary moves may have changed reuse-edge shift vectors;
+            # give SCALOPTIM a second look at each block.
+            for group_set in outcome.groups.values():
+                scaling = optimize_scalings(
+                    program, spec, model, constraint_db, group_set
+                )
+                _merge_scaling_stats(outcome.scaling, scaling)
+    return outcome
+
+
+def _refresh_group_wls(group_set: GroupSet, spec: FixedPointSpec) -> GroupSet:
+    from repro.slp.groups import SIMDGroup
+
+    refreshed = GroupSet(group_set.block)
+    for group in group_set:
+        refreshed.add(SIMDGroup(
+            group.gid, group.block, group.kind, group.lanes,
+            spec.wl(group.lanes[0]),
+        ))
+    return refreshed
+
+
+def _merge_scaling_stats(total: ScalingStats, part: ScalingStats) -> None:
+    total.reuse_edges += part.reuse_edges
+    total.already_uniform += part.already_uniform
+    total.fixed_producer_side += part.fixed_producer_side
+    total.fixed_consumer_side += part.fixed_consumer_side
+    total.rejected_by_accuracy += part.rejected_by_accuracy
+    total.skipped_negative += part.skipped_negative
+    total.skipped_untieable += part.skipped_untieable

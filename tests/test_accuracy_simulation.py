@@ -1,0 +1,83 @@
+"""Simulation-based accuracy evaluator tests."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import (
+    SimulationAccuracyEvaluator,
+    measured_noise_power,
+    noise_power_db,
+    sqnr_db,
+)
+
+
+class TestEvaluator:
+    def test_noise_decreases_with_wl(self, fir_context):
+        evaluator = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=2
+        )
+        levels = []
+        for wl in (10, 16, 24):
+            spec = fir_context.fresh_spec()
+            for root in fir_context.slotmap.roots:
+                spec.set_wl(root, wl)
+            levels.append(evaluator.noise_db(spec))
+        assert levels == sorted(levels, reverse=True)
+
+    def test_references_cached_once(self, fir_context):
+        evaluator = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=3
+        )
+        assert len(evaluator.references) == 3
+        assert len(evaluator.stimuli) == 3
+
+    def test_violates(self, fir_context):
+        evaluator = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=2
+        )
+        spec = fir_context.fresh_spec()
+        for root in fir_context.slotmap.roots:
+            spec.set_wl(root, 12)
+        level = evaluator.noise_db(spec)
+        assert evaluator.violates(spec, level - 1.0)
+        assert not evaluator.violates(spec, level + 1.0)
+
+    def test_discard_drops_transients(self, iir_context):
+        spec = iir_context.fresh_spec()
+        for root in iir_context.slotmap.roots:
+            spec.set_wl(root, 16)
+        with_transient = SimulationAccuracyEvaluator(
+            iir_context.program, n_stimuli=2, discard=0
+        ).noise_power(spec)
+        steady = SimulationAccuracyEvaluator(
+            iir_context.program, n_stimuli=2, discard=64
+        ).noise_power(spec)
+        assert steady > 0.0 and with_transient > 0.0
+
+
+class TestMetrics:
+    def test_measured_noise_power(self):
+        ref = {"y": np.array([1.0, 2.0, 3.0])}
+        got = {"y": np.array([1.0, 2.0, 4.0])}
+        assert measured_noise_power(ref, got) == pytest.approx(1.0 / 3.0)
+
+    def test_discard_parameter(self):
+        ref = {"y": np.array([9.0, 1.0, 1.0])}
+        got = {"y": np.array([0.0, 1.0, 1.0])}
+        assert measured_noise_power(ref, got, discard=1) == 0.0
+
+    def test_noise_power_db_floor(self):
+        ref = {"y": np.zeros(4)}
+        assert noise_power_db(ref, ref) == -400.0
+
+    def test_sqnr_infinite_for_exact(self):
+        ref = {"y": np.ones(4)}
+        assert sqnr_db(ref, ref) == float("inf")
+
+    def test_sqnr_known_value(self):
+        ref = {"y": np.ones(100)}
+        noisy = {"y": np.ones(100) + 0.01}
+        assert sqnr_db(ref, noisy) == pytest.approx(40.0, abs=0.1)
+
+    def test_empty_outputs(self):
+        assert measured_noise_power({}, {}) == 0.0

@@ -1,0 +1,62 @@
+"""Command-line interface tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["targets"],
+            ["run", "--kernel", "dot", "--constraint", "-20"],
+            ["fig4", "--kernels", "fir", "--targets", "xentium"],
+            ["table1"],
+            ["fig6", "--grid", "-15", "-45"],
+            ["ablations", "--kernel", "iir"],
+            ["codegen", "--kernel", "dot", "--simd"],
+        ):
+            parser.parse_args(argv)
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "xentium" in out and "st240" in out
+
+    def test_run_wlo_slp_on_dot(self, capsys):
+        assert main(["run", "--kernel", "dot", "--target", "xentium",
+                     "--constraint", "-30", "--flow", "wlo-slp"]) == 0
+        out = capsys.readouterr().out
+        assert "wlo-slp" in out and "cycles" in out
+
+    def test_run_float(self, capsys):
+        assert main(["run", "--kernel", "dot", "--flow", "float"]) == 0
+        assert "float" in capsys.readouterr().out
+
+    def test_codegen_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "dot.c"
+        assert main(["codegen", "--kernel", "dot", "--constraint", "-30",
+                     "-o", str(out_file)]) == 0
+        assert "void kernel(void)" in out_file.read_text()
+
+    def test_codegen_simd_stdout(self, capsys):
+        assert main(["codegen", "--kernel", "dot", "--constraint", "-30",
+                     "--simd"]) == 0
+        assert "V2" in capsys.readouterr().out
+
+    def test_error_reported_cleanly(self, capsys):
+        code = main(["run", "--kernel", "dot", "--target", "tpu"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_parses(self):
+        build_parser().parse_args(["validate", "--kernels", "fir"])

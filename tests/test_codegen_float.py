@@ -1,0 +1,79 @@
+"""Float lowering tests: hardware FPU vs soft-float emulation."""
+
+import pytest
+
+from repro.codegen import lower_float_block, lower_float_program
+from repro.scheduler import program_cycles, schedule_block
+from repro.targets import get_target
+
+
+class TestSoftFloat:
+    def test_fp_ops_on_sfu(self, small_fir):
+        target = get_target("xentium")
+        machine = lower_float_block(
+            small_fir, small_fir.blocks["body"], target
+        )
+        histogram = machine.op_histogram()
+        assert histogram["fmul"] == 4
+        assert histogram["fadd"] == 4
+        sfu_ops = [op for op in machine.ops if op.unit == "sfu"]
+        assert len(sfu_ops) == 8
+        assert all(op.latency >= 20 for op in sfu_ops)
+
+    def test_sfu_serializes(self, small_fir):
+        target = get_target("xentium")
+        machine = lower_float_block(
+            small_fir, small_fir.blocks["body"], target
+        )
+        schedule = schedule_block(machine, target)
+        min_serial = sum(
+            op.latency for op in machine.ops if op.unit == "sfu"
+        )
+        assert schedule.length >= min_serial
+
+    def test_no_requant_shifts(self, small_fir):
+        target = get_target("xentium")
+        machine = lower_float_block(
+            small_fir, small_fir.blocks["body"], target
+        )
+        names = set(machine.op_histogram())
+        assert "shr" not in names and "shl" not in names
+
+
+class TestHardwareFloat:
+    def test_fp_ops_pipelined(self, small_fir):
+        target = get_target("st240")
+        machine = lower_float_block(
+            small_fir, small_fir.blocks["body"], target
+        )
+        fp_ops = [op for op in machine.ops if op.name.startswith("f")]
+        assert all(op.unit == "mul" for op in fp_ops)
+        assert all(op.latency == 3 for op in fp_ops)
+
+    def test_hw_float_orders_of_magnitude_faster(self, small_fir):
+        xentium = get_target("xentium")
+        st240 = get_target("st240")
+        soft = program_cycles(
+            small_fir, lower_float_program(small_fir, xentium), xentium
+        )
+        hard = program_cycles(
+            small_fir, lower_float_program(small_fir, st240), st240
+        )
+        assert soft.total_cycles > 5 * hard.total_cycles
+
+
+class TestMemoryOps:
+    def test_loads_and_stores_lowered(self, small_fir):
+        target = get_target("st240")
+        machine = lower_float_block(
+            small_fir, small_fir.blocks["body"], target
+        )
+        histogram = machine.op_histogram()
+        assert histogram["ld"] == 8
+
+    def test_whole_program(self, small_iir):
+        target = get_target("xentium")
+        lowered = lower_float_program(small_iir, target)
+        assert set(lowered) == set(small_iir.blocks)
+        report = program_cycles(small_iir, lowered, target)
+        assert report.total_cycles > 0

@@ -1,0 +1,211 @@
+"""SIMD lowering tests: where pack/unpack and scaling costs appear."""
+
+import pytest
+
+from repro.codegen import (
+    collect_vector_vars,
+    lower_simd_block,
+    lower_simd_program,
+)
+from repro.fixedpoint import FixedPointSpec, SlotMap
+from repro.ir import OpKind
+from repro.slp import GroupSet, SIMDGroup
+from repro.targets import get_target
+
+
+def _spec(program, wl=16):
+    spec = FixedPointSpec(SlotMap(program))
+    for root in spec.slotmap.roots:
+        spec.set_wl(root, wl)
+    return spec
+
+
+def _fir_groups(program):
+    """The canonical FIR grouping: loads, muls, adds paired by lane."""
+    block = program.blocks["body"]
+    by_kind = {}
+    for op in block.ops:
+        by_kind.setdefault((op.kind, op.array), []).append(op.opid)
+    groups = GroupSet("body")
+    gid = 0
+    for key, ops in by_kind.items():
+        kind = key[0]
+        if kind not in (OpKind.LOAD, OpKind.MUL, OpKind.ADD):
+            continue
+        for i in range(0, len(ops) - 1, 2):
+            groups.add(SIMDGroup(gid, "body", kind, (ops[i], ops[i + 1]), 16))
+            gid += 1
+    return groups
+
+
+class TestVectorVars:
+    def test_fir_accumulators_detected(self, small_fir):
+        groups = {"body": _fir_groups(small_fir)}
+        vector_vars = collect_vector_vars(small_fir, groups)
+        assert set(vector_vars) == {"acc0", "acc1", "acc2", "acc3"}
+        var_set, lane = vector_vars["acc1"]
+        assert lane == 1
+
+    def test_no_groups_no_vector_vars(self, small_fir):
+        assert collect_vector_vars(small_fir, {}) == {}
+
+
+class TestFirBodyLowering:
+    def test_fully_grouped_body(self, small_fir):
+        """Pairs everywhere: 2 vld per lane pair, vmul + requant, vadd;
+        the accumulator vector is loop-carried (no pack/unpack)."""
+        spec = _spec(small_fir)
+        groups = _fir_groups(small_fir)
+        vector_vars = collect_vector_vars(small_fir, {"body": groups})
+        machine = lower_simd_block(
+            small_fir, small_fir.blocks["body"], spec,
+            get_target("xentium"), groups, vector_vars,
+        )
+        histogram = machine.op_histogram()
+        assert histogram["vld"] == 4  # 2 x-pairs + 2 h-pairs
+        assert histogram["vmul"] == 2
+        assert histogram["vadd"] == 2
+        assert histogram["vshr"] == 2  # uniform product requant
+        assert "pack" not in histogram
+        assert "unpk" not in histogram
+        assert "ext" not in histogram
+
+    def test_init_block_packs_accumulators(self, small_fir):
+        spec = _spec(small_fir)
+        groups = _fir_groups(small_fir)
+        vector_vars = collect_vector_vars(small_fir, {"body": groups})
+        machine = lower_simd_block(
+            small_fir, small_fir.blocks["init"], spec,
+            get_target("xentium"), GroupSet("init"), vector_vars,
+        )
+        histogram = machine.op_histogram()
+        # Two acc vectors formed from scalar zeros: one pack each.
+        assert histogram.get("pack", 0) == 2
+
+    def test_reduce_block_extracts_lanes(self, small_fir):
+        spec = _spec(small_fir)
+        groups = _fir_groups(small_fir)
+        vector_vars = collect_vector_vars(small_fir, {"body": groups})
+        machine = lower_simd_block(
+            small_fir, small_fir.blocks["reduce"], spec,
+            get_target("xentium"), GroupSet("reduce"), vector_vars,
+        )
+        histogram = machine.op_histogram()
+        assert histogram.get("ext", 0) == 4  # four lanes read scalar
+
+
+class TestScalingShifts:
+    def test_uniform_shift_is_single_vshift(self, small_fir):
+        spec = _spec(small_fir)
+        # Shift both mul lanes by the same extra amount.
+        groups = _fir_groups(small_fir)
+        mul_groups = [g for g in groups if g.kind is OpKind.MUL]
+        for group in mul_groups:
+            for opid in group.lanes:
+                spec.set_fwl(opid, spec.fwl(opid) - 2)
+        vector_vars = collect_vector_vars(small_fir, {"body": groups})
+        machine = lower_simd_block(
+            small_fir, small_fir.blocks["body"], spec,
+            get_target("xentium"), groups, vector_vars,
+        )
+        histogram = machine.op_histogram()
+        assert "unpk" not in histogram  # still uniform per group
+
+    def test_nonuniform_shift_forces_unpack(self, small_fir):
+        """Fig. 2's right side: different per-lane scalings at a reuse
+        edge cost unpack + scalar shifts + repack."""
+        spec = _spec(small_fir)
+        groups = _fir_groups(small_fir)
+        mul_groups = [g for g in groups if g.kind is OpKind.MUL]
+        lane0 = mul_groups[0].lanes[0]
+        spec.set_fwl(lane0, spec.fwl(lane0) - 3)  # only one lane moves
+        vector_vars = collect_vector_vars(small_fir, {"body": groups})
+        machine = lower_simd_block(
+            small_fir, small_fir.blocks["body"], spec,
+            get_target("xentium"), groups, vector_vars,
+        )
+        histogram = machine.op_histogram()
+        assert histogram.get("unpk", 0) >= 1
+        assert histogram.get("pack", 0) >= 1
+
+
+class TestMemoryGroups:
+    def test_contiguous_store_group_is_vst(self):
+        from repro.ir import ProgramBuilder, loop_index
+
+        b = ProgramBuilder("stores")
+        x = b.input_array("x", (16,), value_range=(-1.0, 1.0))
+        y = b.output_array("y", (16,))
+        i = loop_index("i")
+        with b.loop("i", 8):
+            with b.block("body"):
+                v0 = b.load(x, i * 2)
+                v1 = b.load(x, i * 2 + 1)
+                b.store(y, i * 2, v0)
+                b.store(y, i * 2 + 1, v1)
+        program = b.build()
+        block = program.blocks["body"]
+        loads = tuple(o.opid for o in block.ops if o.kind is OpKind.LOAD)
+        stores = tuple(o.opid for o in block.ops if o.kind is OpKind.STORE)
+        groups = GroupSet("body")
+        groups.add(SIMDGroup(0, "body", OpKind.LOAD, loads, 16))
+        groups.add(SIMDGroup(1, "body", OpKind.STORE, stores, 16))
+        machine = lower_simd_block(
+            program, block, _spec(program), get_target("xentium"),
+            groups, {},
+        )
+        histogram = machine.op_histogram()
+        assert histogram == {"vld": 1, "vst": 1}
+
+    def test_strided_loads_become_gather(self, small_conv):
+        spec = _spec(small_conv)
+        block = small_conv.blocks["body"]
+        img_loads = [
+            o.opid for o in block.ops
+            if o.kind is OpKind.LOAD and o.array == "img"
+        ]
+        groups = GroupSet("body")
+        # Column pair: stride = image width (not contiguous).
+        groups.add(SIMDGroup(0, "body", OpKind.LOAD,
+                             (img_loads[0], img_loads[3]), 16))
+        machine = lower_simd_block(
+            small_conv, block, spec, get_target("xentium"), groups, {},
+        )
+        histogram = machine.op_histogram()
+        assert histogram.get("pack", 0) >= 1  # gathered
+
+    def test_invariant_vector_load_is_free(self, small_conv):
+        spec = _spec(small_conv)
+        block = small_conv.blocks["body"]
+        ker_loads = [
+            o.opid for o in block.ops
+            if o.kind is OpKind.LOAD and o.array == "ker"
+        ]
+        groups = GroupSet("body")
+        groups.add(SIMDGroup(0, "body", OpKind.LOAD,
+                             (ker_loads[0], ker_loads[1]), 16))
+        machine = lower_simd_block(
+            small_conv, block, spec, get_target("xentium"), groups, {},
+        )
+        names = {op.name for op in machine.ops}
+        assert "vld" not in names  # hoisted out of the loop
+
+
+class TestSemanticCostEquivalence:
+    def test_simd_program_has_fewer_dynamic_ops(self, small_fir):
+        """Grouping must reduce total work on the hot path."""
+        from repro.codegen import lower_scalar_program
+        from repro.scheduler import program_cycles
+
+        spec = _spec(small_fir)
+        target = get_target("vex-1")
+        scalar = program_cycles(
+            small_fir, lower_scalar_program(small_fir, spec, target), target
+        )
+        groups = {"body": _fir_groups(small_fir)}
+        simd = program_cycles(
+            small_fir, lower_simd_program(small_fir, spec, target, groups),
+            target,
+        )
+        assert simd.dynamic_ops < scalar.dynamic_ops
+        assert simd.total_cycles < scalar.total_cycles

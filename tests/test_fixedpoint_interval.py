@@ -1,0 +1,106 @@
+"""Interval arithmetic soundness (the containment property)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import Interval
+
+values = st.floats(-100, 100)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(values)
+    b = draw(values)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_with_point(draw):
+    interval = draw(intervals())
+    t = draw(st.floats(0, 1))
+    point = interval.lo + t * (interval.hi - interval.lo)
+    # Float rounding can push the sample past either edge; clamp it in.
+    point = min(max(point, interval.lo), interval.hi)
+    return interval, point
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(FixedPointError):
+            Interval(1.0, 0.0)
+
+    def test_point(self):
+        p = Interval.point(3.0)
+        assert p.lo == p.hi == 3.0 and p.width == 0.0
+
+    def test_symmetric(self):
+        s = Interval.symmetric(-2.0)
+        assert s == Interval(-2.0, 2.0)
+
+
+class TestContainment:
+    """Soundness: op(interval) contains op(point) for points inside."""
+
+    @given(interval_with_point(), interval_with_point())
+    def test_add(self, ap, bp):
+        (ia, a), (ib, b) = ap, bp
+        assert (ia + ib).contains(a + b)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_sub(self, ap, bp):
+        (ia, a), (ib, b) = ap, bp
+        assert (ia - ib).contains(a - b)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_mul(self, ap, bp):
+        (ia, a), (ib, b) = ap, bp
+        result = ia * ib
+        # Tolerate float rounding at the interval edges.
+        slack = 1e-9 * max(1.0, abs(result.lo), abs(result.hi))
+        assert result.lo - slack <= a * b <= result.hi + slack
+
+    @given(interval_with_point())
+    def test_neg_abs(self, ap):
+        interval, point = ap
+        assert (-interval).contains(-point)
+        assert interval.abs().contains(abs(point))
+
+    @given(interval_with_point(), interval_with_point())
+    def test_min_max(self, ap, bp):
+        (ia, a), (ib, b) = ap, bp
+        assert ia.min_with(ib).contains(min(a, b))
+        assert ia.max_with(ib).contains(max(a, b))
+
+    @given(interval_with_point(), intervals())
+    def test_join_keeps_both(self, ap, other):
+        interval, point = ap
+        joined = interval.join(other)
+        assert joined.contains(point)
+        assert joined.encloses(other)
+
+
+class TestDerivedProperties:
+    def test_abs_positive_interval(self):
+        assert Interval(1.0, 2.0).abs() == Interval(1.0, 2.0)
+
+    def test_abs_negative_interval(self):
+        assert Interval(-3.0, -1.0).abs() == Interval(1.0, 3.0)
+
+    def test_abs_straddling(self):
+        assert Interval(-3.0, 1.0).abs() == Interval(0.0, 3.0)
+
+    def test_magnitude(self):
+        assert Interval(-3.0, 1.0).magnitude == 3.0
+        assert Interval(0.5, 2.0).magnitude == 2.0
+
+    def test_widen_relative(self):
+        widened = Interval(-1.0, 1.0).widen_relative(0.5)
+        assert widened == Interval(-1.5, 1.5)
+
+    def test_widen_zero_point_is_noop(self):
+        assert Interval.point(0.0).widen_relative(0.5) == Interval.point(0.0)
+
+    def test_mul_sign_grid(self):
+        assert Interval(-1, 2) * Interval(-3, 1) == Interval(-6, 3)

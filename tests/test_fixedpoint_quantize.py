@@ -1,0 +1,153 @@
+"""Property and unit tests for integer quantization primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError, OverflowPolicyError
+from repro.fixedpoint import (
+    OverflowMode,
+    QFormat,
+    QuantMode,
+    apply_overflow,
+    float_to_mantissa,
+    mantissa_to_float,
+    quantize_value,
+    requantize,
+    saturate,
+    wrap,
+)
+
+mantissas = st.integers(-(2 ** 40), 2 ** 40)
+fracs = st.integers(-8, 40)
+
+
+class TestRequantize:
+    @given(mantissas, fracs, fracs)
+    def test_widening_is_exact(self, m, f_from, extra):
+        f_to = f_from + abs(extra)
+        widened = requantize(m, f_from, f_to, QuantMode.TRUNCATE)
+        assert mantissa_to_float(widened, f_to) == mantissa_to_float(m, f_from)
+
+    @given(mantissas, fracs, st.integers(1, 20))
+    def test_truncation_error_bounds(self, m, f_to, drop):
+        f_from = f_to + drop
+        out = requantize(m, f_from, f_to, QuantMode.TRUNCATE)
+        error = mantissa_to_float(out, f_to) - mantissa_to_float(m, f_from)
+        q = 2.0 ** -f_to
+        assert -q < error <= 0.0  # truncation rounds toward -inf
+
+    @given(mantissas, fracs, st.integers(1, 20))
+    def test_rounding_error_bounds(self, m, f_to, drop):
+        f_from = f_to + drop
+        out = requantize(m, f_from, f_to, QuantMode.ROUND)
+        error = mantissa_to_float(out, f_to) - mantissa_to_float(m, f_from)
+        q = 2.0 ** -f_to
+        assert -q / 2 <= error <= q / 2
+
+    def test_truncation_floors_negative(self):
+        # -1 with 1 fractional bit -> -0.5; truncating to 0 bits gives -1.
+        assert requantize(-1, 1, 0, QuantMode.TRUNCATE) == -1
+        assert requantize(-1, 1, 0, QuantMode.ROUND) == 0  # round half up
+
+
+class TestWrapSaturate:
+    @given(mantissas, st.integers(1, 32))
+    def test_wrap_is_in_range(self, m, wl):
+        out = wrap(m, wl)
+        assert -(1 << (wl - 1)) <= out < (1 << (wl - 1))
+
+    @given(mantissas, st.integers(1, 32))
+    def test_wrap_preserves_low_bits(self, m, wl):
+        assert (wrap(m, wl) - m) % (1 << wl) == 0
+
+    @given(mantissas, st.integers(1, 32))
+    def test_saturate_is_clamp(self, m, wl):
+        out = saturate(m, wl)
+        lo, hi = -(1 << (wl - 1)), (1 << (wl - 1)) - 1
+        assert out == max(lo, min(hi, m))
+
+    @given(st.integers(-100, 100), st.integers(8, 32))
+    def test_fits_are_identity_in_range(self, m, wl):
+        assert wrap(m, wl) == m
+        assert saturate(m, wl) == m
+
+    def test_bad_wl(self):
+        with pytest.raises(FixedPointError):
+            wrap(0, 0)
+        with pytest.raises(FixedPointError):
+            saturate(0, -1)
+
+
+class TestApplyOverflow:
+    def test_error_mode_raises(self):
+        with pytest.raises(OverflowPolicyError):
+            apply_overflow(1 << 20, 8, OverflowMode.ERROR)
+
+    def test_error_mode_passes_in_range(self):
+        assert apply_overflow(100, 8, OverflowMode.ERROR) == 100
+
+    def test_modes_agree_in_range(self):
+        for mode in OverflowMode:
+            assert apply_overflow(-5, 8, mode) == -5
+
+
+class TestFloatConversion:
+    @given(st.floats(-4.0, 4.0), st.integers(0, 30))
+    def test_truncate_round_trip_error(self, value, fwl):
+        m = float_to_mantissa(value, fwl, QuantMode.TRUNCATE)
+        back = mantissa_to_float(m, fwl)
+        q = 2.0 ** -fwl
+        assert value - q - 1e-12 <= back <= value + 1e-12
+
+    @given(st.floats(-4.0, 4.0), st.integers(0, 30))
+    def test_round_round_trip_error(self, value, fwl):
+        back = quantize_value(value, fwl, QuantMode.ROUND)
+        q = 2.0 ** -fwl
+        assert abs(back - value) <= q / 2 + 1e-12
+
+    def test_exact_values_preserved(self):
+        assert quantize_value(0.5, 4, QuantMode.TRUNCATE) == 0.5
+        assert quantize_value(-0.75, 2, QuantMode.TRUNCATE) == -0.75
+
+
+class TestQFormat:
+    def test_wl_sum(self):
+        fmt = QFormat(2, 14)
+        assert fmt.wl == 16
+        assert fmt.quantum == 2.0 ** -14
+
+    def test_value_range(self):
+        fmt = QFormat(1, 15)  # Q1.15
+        assert fmt.min_value == -1.0
+        assert fmt.max_value == pytest.approx(1.0 - 2.0 ** -15)
+        assert fmt.contains_value(0.999)
+        assert not fmt.contains_value(1.0)
+
+    def test_negative_fwl_allowed(self):
+        fmt = QFormat(10, -2)
+        assert fmt.wl == 8
+        assert fmt.quantum == 4.0
+
+    def test_nonpositive_wl_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(2, -2)
+
+    def test_with_wl_keeps_iwl(self):
+        narrowed = QFormat(3, 29).with_wl(16)
+        assert narrowed.iwl == 3 and narrowed.wl == 16
+
+    def test_with_fwl_keeps_wl(self):
+        moved = QFormat(3, 13).with_fwl(10)
+        assert moved.wl == 16 and moved.iwl == 6
+
+    @given(st.integers(1, 16), st.integers(0, 24))
+    def test_mantissa_bounds_match_value_bounds(self, iwl, fwl):
+        fmt = QFormat(iwl, fwl)
+        assert mantissa_to_float(fmt.max_mantissa, fwl) == fmt.max_value
+        assert mantissa_to_float(fmt.min_mantissa, fwl) == fmt.min_value
+
+    def test_ordering(self):
+        assert QFormat(1, 7) < QFormat(1, 15)
+        assert str(QFormat(2, 14)) == "<2,14>"

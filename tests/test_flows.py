@@ -1,0 +1,174 @@
+"""End-to-end flow tests — the whole pipeline, measured honestly.
+
+The load-bearing invariant: every flow's final spec satisfies its
+accuracy constraint when *measured* by bit-accurate simulation against
+the float reference, not merely according to the analytical model that
+guided the optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import SimulationAccuracyEvaluator
+from repro.errors import FlowError, WLOError
+from repro.flows import (
+    AnalysisContext,
+    run_float,
+    run_wlo_first,
+    run_wlo_slp,
+    speedup,
+)
+from repro.targets import get_target
+
+
+CONSTRAINTS = (-15.0, -40.0)
+
+
+class TestWloSlpFlow:
+    @pytest.mark.parametrize("constraint", CONSTRAINTS)
+    def test_measured_accuracy_met(self, fir_context, constraint):
+        result = run_wlo_slp(
+            fir_context.program, get_target("xentium"), constraint,
+            fir_context,
+        )
+        simulator = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=3
+        )
+        measured = simulator.noise_db(result.spec)
+        assert measured <= constraint + 1.0  # model tolerance margin
+
+    @pytest.mark.parametrize("constraint", CONSTRAINTS)
+    def test_iir_measured_accuracy_met(self, iir_context, constraint):
+        result = run_wlo_slp(
+            iir_context.program, get_target("st240"), constraint,
+            iir_context,
+        )
+        simulator = SimulationAccuracyEvaluator(
+            iir_context.program, n_stimuli=3, discard=64
+        )
+        assert simulator.noise_db(result.spec) <= constraint + 3.0
+
+    def test_result_structure(self, fir_context):
+        result = run_wlo_slp(
+            fir_context.program, get_target("xentium"), -20.0, fir_context
+        )
+        assert result.flow == "wlo-slp"
+        assert result.total_cycles > 0
+        assert result.n_groups > 0
+        assert result.noise_db is not None
+        assert "selection_stats" in result.extra
+        assert "cycles" in result.summary()
+
+    def test_infeasible_constraint_raises(self, fir_context):
+        with pytest.raises(WLOError, match="infeasible"):
+            run_wlo_slp(
+                fir_context.program, get_target("xentium"), -400.0,
+                fir_context,
+            )
+
+    def test_strict_constraint_fewer_groups(self, fir_context):
+        loose = run_wlo_slp(
+            fir_context.program, get_target("xentium"), -10.0, fir_context
+        )
+        strict = run_wlo_slp(
+            fir_context.program, get_target("xentium"), -80.0, fir_context
+        )
+        assert strict.n_groups <= loose.n_groups
+        assert strict.total_cycles >= loose.total_cycles
+
+
+class TestWloFirstFlow:
+    @pytest.mark.parametrize("constraint", CONSTRAINTS)
+    def test_measured_accuracy_met(self, fir_context, constraint):
+        result = run_wlo_first(
+            fir_context.program, get_target("xentium"), constraint,
+            fir_context,
+        )
+        simulator = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=3
+        )
+        assert simulator.noise_db(result.spec) <= constraint + 1.0
+
+    def test_scalar_and_simd_share_spec(self, fir_context):
+        result = run_wlo_first(
+            fir_context.program, get_target("xentium"), -25.0, fir_context
+        )
+        assert result.scalar.spec is result.simd.spec
+
+    def test_greedy_engines(self, fir_context):
+        for engine in ("max-1", "min+1"):
+            result = run_wlo_first(
+                fir_context.program, get_target("xentium"), -25.0,
+                fir_context, wlo=engine,
+            )
+            assert not fir_context.model.violates(result.spec, -25.0)
+
+    def test_unknown_engine(self, fir_context):
+        with pytest.raises(FlowError, match="unknown WLO engine"):
+            run_wlo_first(
+                fir_context.program, get_target("xentium"), -25.0,
+                fir_context, wlo="quantum",
+            )
+
+
+class TestFloatFlow:
+    def test_soft_float_much_slower(self, fir_context):
+        program = fir_context.program
+        float_result = run_float(program, get_target("xentium"))
+        fixed = run_wlo_slp(program, get_target("xentium"), -25.0, fir_context)
+        assert speedup(float_result, fixed) > 5.0
+
+    def test_hw_float_close(self, fir_context):
+        program = fir_context.program
+        float_result = run_float(program, get_target("st240"))
+        fixed = run_wlo_slp(program, get_target("st240"), -25.0, fir_context)
+        assert 0.5 < speedup(float_result, fixed) < 3.0
+
+
+class TestAnalysisContext:
+    def test_twin_must_match(self, small_fir, small_conv):
+        with pytest.raises(FlowError, match="twin"):
+            AnalysisContext.build(small_fir, small_conv)
+
+    def test_twin_accepted(self):
+        from repro.kernels import fir
+
+        program = fir(n_samples=96, n_taps=16)
+        twin = fir(n_samples=48, n_taps=16)
+        context = AnalysisContext.build(program, twin)
+        assert context.program is program
+        assert context.analysis_program is twin
+
+    def test_twin_produces_same_decisions(self):
+        """Flows driven by a twin-based context must agree with flows
+        driven by a full context (same ops, same gains structure)."""
+        from repro.kernels import fir
+
+        program = fir(n_samples=96, n_taps=16)
+        full = AnalysisContext.build(program)
+        twinned = AnalysisContext.build(program, fir(n_samples=48, n_taps=16))
+        target = get_target("xentium")
+        a = run_wlo_slp(program, target, -30.0, full)
+        b = run_wlo_slp(program, target, -30.0, twinned)
+        assert a.total_cycles == b.total_cycles
+        assert a.n_groups == b.n_groups
+
+    def test_fresh_spec_has_iwls(self, fir_context):
+        spec = fir_context.fresh_spec()
+        x_iwl = spec.iwl(fir_context.slotmap.slot_of_symbol("x"))
+        assert x_iwl == 1  # [-1,1] input
+
+
+class TestSpeedupHelper:
+    def test_speedup_eq2(self, fir_context):
+        scalar = run_wlo_first(
+            fir_context.program, get_target("xentium"), -25.0, fir_context
+        ).scalar
+        assert speedup(scalar, scalar) == pytest.approx(1.0)
+
+    def test_zero_cycles_rejected(self, fir_context):
+        result = run_float(fir_context.program, get_target("xentium"))
+        broken = run_float(fir_context.program, get_target("xentium"))
+        broken.cycles.total_cycles = 0
+        with pytest.raises(FlowError):
+            speedup(result, broken)

@@ -1,0 +1,146 @@
+"""Bit-accurate fixed-point interpreter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.fixedpoint import (
+    FixedPointInterpreter,
+    FxpConfig,
+    OverflowMode,
+    QuantMode,
+    run_fixed_point,
+)
+from repro.ir import run_program
+
+
+def _spec_at(context, wl):
+    spec = context.fresh_spec()
+    for root in context.slotmap.roots:
+        spec.set_wl(root, wl)
+    return spec
+
+
+class TestErrorScaling:
+    def test_error_shrinks_with_wl(self, fir_context, rng):
+        """Each extra 4 bits of word length buys roughly 24 dB."""
+        program = fir_context.program
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        reference = run_program(program, {"x": x})["y"]
+        errors = []
+        for wl in (12, 16, 20, 24):
+            out = run_fixed_point(program, _spec_at(fir_context, wl), {"x": x})
+            errors.append(np.abs(out["y"] - reference).max())
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine < coarse / 4.0  # at least 12 dB per 4 bits
+
+    def test_wide_spec_is_nearly_exact(self, fir_context, rng):
+        program = fir_context.program
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        reference = run_program(program, {"x": x})["y"]
+        out = run_fixed_point(program, _spec_at(fir_context, 32), {"x": x})
+        np.testing.assert_allclose(out["y"], reference, atol=1e-7)
+
+
+class TestQuantModes:
+    def test_rounding_beats_truncation_on_bias(self, fir_context, rng):
+        program = fir_context.program
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        reference = run_program(program, {"x": x})["y"]
+        spec = _spec_at(fir_context, 12)
+        trunc = run_fixed_point(
+            program, spec, {"x": x}, FxpConfig(quant_mode=QuantMode.TRUNCATE)
+        )["y"]
+        rnd = run_fixed_point(
+            program, spec, {"x": x}, FxpConfig(quant_mode=QuantMode.ROUND)
+        )["y"]
+        # Truncation builds a systematic negative bias over the taps.
+        assert abs(np.mean(trunc - reference)) > 4 * abs(np.mean(rnd - reference))
+
+
+class TestOverflow:
+    def _overflow_program(self):
+        from repro.ir import ProgramBuilder
+
+        b = ProgramBuilder("ovf")
+        x = b.input_array("x", (1,), value_range=(-1.0, 1.0))
+        y = b.output_array("y", (1,))
+        with b.block("blk"):
+            v = b.load(x, 0)
+            b.store(y, 0, b.add(v, v))  # up to 2.0: overflows iwl=1
+        return b.build()
+
+    def test_saturation_clamps(self):
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+
+        program = self._overflow_program()
+        spec = FixedPointSpec(SlotMap(program), max_wl=16)  # iwl=1 everywhere
+        out = run_fixed_point(
+            program, spec, {"x": np.array([0.9])},
+            FxpConfig(overflow=OverflowMode.SATURATE),
+        )
+        assert out["y"][0] == pytest.approx(1.0, abs=1e-3)  # clamped < 1.8
+
+    def test_wrap_wraps(self):
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+
+        program = self._overflow_program()
+        spec = FixedPointSpec(SlotMap(program), max_wl=16)
+        out = run_fixed_point(
+            program, spec, {"x": np.array([0.9])},
+            FxpConfig(overflow=OverflowMode.WRAP),
+        )
+        assert out["y"][0] < 0  # 1.8 wrapped into [-1, 1)
+
+
+class TestEdgeNarrowing:
+    def test_edge_wl_changes_result(self, fir_context, rng):
+        program = fir_context.program
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        spec = _spec_at(fir_context, 32)
+        base = run_fixed_point(program, spec, {"x": x})["y"]
+        from repro.ir import OpKind
+
+        for op in program.all_ops():
+            if op.kind is OpKind.MUL:
+                spec.set_edge_wl(op.opid, 0, 8)
+                spec.set_edge_wl(op.opid, 1, 8)
+        narrowed = run_fixed_point(program, spec, {"x": x})["y"]
+        assert np.abs(narrowed - base).max() > 1e-4  # lanes lost precision
+        assert np.abs(narrowed - base).max() < 0.2   # but stayed sane
+
+
+class TestValidation:
+    def test_missing_input(self, fir_context):
+        interpreter = FixedPointInterpreter(
+            fir_context.program, fir_context.fresh_spec()
+        )
+        with pytest.raises(InterpreterError, match="missing"):
+            interpreter.run({})
+
+    def test_foreign_spec_rejected(self, fir_context, small_conv):
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+
+        foreign = FixedPointSpec(SlotMap(small_conv))
+        with pytest.raises(InterpreterError, match="different program"):
+            FixedPointInterpreter(fir_context.program, foreign)
+
+    def test_twin_spec_accepted(self, fir_context):
+        """Specs built on a structurally identical twin are usable."""
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+        from repro.kernels import fir
+
+        twin = fir(n_samples=64, n_taps=16)
+        twin_spec = FixedPointSpec(SlotMap(twin))
+        FixedPointInterpreter(fir_context.program, twin_spec)  # no raise
+
+
+class TestDeterminismAndState:
+    def test_runs_do_not_leak_state(self, iir_context, rng):
+        program = iir_context.program
+        spec = _spec_at(iir_context, 16)
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        interpreter = FixedPointInterpreter(program, spec)
+        first = interpreter.run({"x": x})["y"]
+        second = interpreter.run({"x": x})["y"]
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,180 @@
+"""Tests for the IR builder and structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir import (
+    OpKind,
+    ProgramBuilder,
+    loop_index,
+)
+
+
+class TestSymbols:
+    def test_duplicate_symbol_rejected(self):
+        b = ProgramBuilder("p")
+        b.input_array("x", (4,), value_range=(-1, 1))
+        with pytest.raises(IRError, match="already declared"):
+            b.output_array("x", (4,))
+        with pytest.raises(IRError, match="already declared"):
+            b.scalar("x")
+
+    def test_input_needs_range(self):
+        from repro.ir.symbols import ArrayDecl, SymbolKind
+
+        with pytest.raises(IRError, match="value_range"):
+            ArrayDecl("x", (4,), SymbolKind.INPUT)
+
+    def test_coeff_needs_values(self):
+        from repro.ir.symbols import ArrayDecl, SymbolKind
+
+        with pytest.raises(IRError, match="values"):
+            ArrayDecl("h", (4,), SymbolKind.COEFF)
+
+    def test_coeff_range_derived(self):
+        b = ProgramBuilder("p")
+        h = b.coeff_array("h", [0.25, -0.5, 1.0])
+        assert h.value_range == (-0.5, 1.0)
+
+    def test_3d_array_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(IRError, match="1-D/2-D"):
+            b.output_array("cube", (2, 2, 2))
+
+
+class TestStructure:
+    def test_block_inside_loop(self):
+        b = ProgramBuilder("p")
+        x = b.input_array("x", (4,), value_range=(-1, 1))
+        y = b.output_array("y", (4,))
+        with b.loop("i", 4):
+            with b.block("body"):
+                b.store(y, loop_index("i"), b.load(x, loop_index("i")))
+        program = b.build()
+        assert program.blocks["body"].loop_vars == ("i",)
+        assert program.blocks["body"].executions == 4
+
+    def test_nested_blocks_rejected(self):
+        b = ProgramBuilder("p")
+        with b.block("outer"):
+            with pytest.raises(IRError, match="nest"):
+                with b.block("inner"):
+                    pass
+
+    def test_loop_inside_block_rejected(self):
+        b = ProgramBuilder("p")
+        with b.block("blk"):
+            with pytest.raises(IRError, match="inside a block"):
+                with b.loop("i", 4):
+                    pass
+
+    def test_op_outside_block_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(IRError, match="inside a block"):
+            b.const(1.0)
+
+    def test_auto_block_names(self):
+        b = ProgramBuilder("p")
+        with b.block() as blk:
+            pass
+        assert blk.name == "bb0"
+
+
+class TestOperations:
+    def test_operator_overloads(self):
+        b = ProgramBuilder("p")
+        x = b.input_array("x", (2,), value_range=(-1, 1))
+        y = b.output_array("y", (1,))
+        with b.block("blk"):
+            a = b.load(x, 0)
+            c = b.load(x, 1)
+            b.store(y, 0, -(a + c) * a - c)
+        program = b.build()
+        kinds = [op.kind for op in program.blocks["blk"].ops]
+        assert kinds.count(OpKind.ADD) == 1
+        assert kinds.count(OpKind.NEG) == 1
+        assert kinds.count(OpKind.MUL) == 1
+        assert kinds.count(OpKind.SUB) == 1
+
+    def test_load_rank_mismatch(self):
+        b = ProgramBuilder("p")
+        img = b.input_array("img", (4, 4), value_range=(-1, 1))
+        with b.block("blk"):
+            with pytest.raises(IRError, match="rank"):
+                b.load(img, 0)
+
+    def test_store_to_coeff_rejected(self):
+        b = ProgramBuilder("p")
+        h = b.coeff_array("h", [1.0])
+        with b.block("blk"):
+            with pytest.raises(IRError, match="coefficient"):
+                b.store(h, 0, b.const(0.0))
+
+    def test_undeclared_symbols(self):
+        b = ProgramBuilder("p")
+        with b.block("blk"):
+            with pytest.raises(IRError, match="undeclared"):
+                b.load("ghost", 0)
+            with pytest.raises(IRError, match="undeclared"):
+                b.getvar("ghost")
+
+    def test_cross_builder_values_rejected(self):
+        b1 = ProgramBuilder("p1")
+        b2 = ProgramBuilder("p2")
+        with b1.block("blk"):
+            v1 = b1.const(1.0)
+        with b2.block("blk"):
+            v2 = b2.const(2.0)
+            with pytest.raises(IRError, match="different builders"):
+                b2.add(v1, v2)
+
+
+class TestValidation:
+    def test_out_of_bounds_subscript(self):
+        b = ProgramBuilder("p")
+        x = b.input_array("x", (4,), value_range=(-1, 1))
+        y = b.output_array("y", (8,))
+        with b.loop("i", 8):
+            with b.block("body"):
+                b.store(y, loop_index("i"), b.load(x, loop_index("i")))
+        with pytest.raises(ValidationError, match="exceeds extent"):
+            b.build()
+
+    def test_foreign_loop_var(self):
+        b = ProgramBuilder("p")
+        x = b.input_array("x", (8,), value_range=(-1, 1))
+        y = b.output_array("y", (1,))
+        with b.block("blk"):  # not inside loop i
+            b.store(y, 0, b.load(x, loop_index("i")))
+        with pytest.raises(ValidationError, match="not enclosing"):
+            b.build()
+
+    def test_build_with_open_block(self):
+        b = ProgramBuilder("p")
+        ctx = b.block("blk")
+        ctx.__enter__()
+        with pytest.raises(IRError, match="open loop or block"):
+            b.build()
+
+
+class TestProgramQueries:
+    def test_priority_order(self, tiny_program):
+        names = [blk.name for blk in tiny_program.blocks_by_priority()]
+        assert names[0] == "body"  # 8 executions beats 1
+
+    def test_op_lookup(self, tiny_program):
+        op = tiny_program.op(0)
+        assert op.opid == 0
+        with pytest.raises(IRError):
+            tiny_program.op(10_000)
+
+    def test_output_store_ops(self, tiny_program):
+        stores = tiny_program.output_store_ops()
+        assert len(stores) == 1
+        assert stores[0].array == "y"
+
+    def test_symbol_kind_queries(self, tiny_program):
+        assert [a.name for a in tiny_program.input_arrays()] == ["x"]
+        assert [a.name for a in tiny_program.output_arrays()] == ["y"]
+        assert tiny_program.coeff_arrays() == []

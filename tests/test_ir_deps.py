@@ -1,0 +1,116 @@
+"""Dependence analysis tests."""
+
+import pytest
+
+from repro.ir import (
+    OpKind,
+    ProgramBuilder,
+    build_dependence_graph,
+    loop_index,
+    may_alias,
+)
+from repro.ir.deps import is_loop_invariant_load
+
+
+def _two_phase_program():
+    """store x[0]; load x[0]; load x[1]; store y[0] — known dep shape."""
+    b = ProgramBuilder("p")
+    x = b.state_array("x", (2,))
+    y = b.output_array("y", (1,))
+    with b.block("blk"):
+        c = b.const(0.5)
+        b.store(x, 0, c)                 # op1
+        first = b.load(x, 0)             # op2: RAW on store
+        second = b.load(x, 1)            # op3: disjoint
+        b.store(y, 0, b.add(first, second))
+    return b.build()
+
+
+class TestMayAlias:
+    def test_same_cell(self):
+        program = _two_phase_program()
+        ops = program.blocks["blk"].ops
+        store_x0 = ops[1]
+        load_x0 = ops[2]
+        load_x1 = ops[3]
+        assert may_alias(store_x0, load_x0)
+        assert not may_alias(store_x0, load_x1)
+
+    def test_different_arrays_never_alias(self):
+        program = _two_phase_program()
+        ops = program.blocks["blk"].ops
+        assert not may_alias(ops[1], ops[5])  # x store vs y store
+
+
+class TestDependenceGraph:
+    def test_raw_memory_edge(self):
+        program = _two_phase_program()
+        deps = build_dependence_graph(program.blocks["blk"])
+        assert deps.depends(2, 1)        # load x[0] after store x[0]
+        assert not deps.depends(3, 1)    # load x[1] independent
+
+    def test_independence_symmetric(self):
+        program = _two_phase_program()
+        deps = build_dependence_graph(program.blocks["blk"])
+        assert deps.independent(2, 3)
+        assert deps.independent(3, 2)
+        assert not deps.independent(1, 2)
+
+    def test_scalar_var_ordering(self, tiny_program):
+        body = tiny_program.blocks["body"]
+        deps = build_dependence_graph(body)
+        opids = [op.opid for op in body.ops]
+        read = next(o for o in body.ops if o.kind is OpKind.READVAR)
+        write = next(o for o in body.ops if o.kind is OpKind.WRITEVAR)
+        assert deps.depends(write.opid, read.opid)
+        assert opids  # sanity
+
+    def test_transitive_closure(self, tiny_program):
+        body = tiny_program.blocks["body"]
+        deps = build_dependence_graph(body)
+        load = next(o for o in body.ops if o.kind is OpKind.LOAD)
+        write = next(o for o in body.ops if o.kind is OpKind.WRITEVAR)
+        assert deps.depends(write.opid, load.opid)  # via the add
+
+    def test_topological_order_respects_deps(self, small_fir):
+        for block in small_fir.blocks.values():
+            deps = build_dependence_graph(block)
+            order = deps.topological_order()
+            position = {opid: i for i, opid in enumerate(order)}
+            for src, dst in deps.graph.edges:
+                assert position[src] < position[dst]
+
+
+class TestLoopInvariantLoads:
+    def test_conv_kernel_loads_invariant(self, small_conv):
+        body = small_conv.blocks["body"]
+        ker_loads = [o for o in body.ops
+                     if o.kind is OpKind.LOAD and o.array == "ker"]
+        img_loads = [o for o in body.ops
+                     if o.kind is OpKind.LOAD and o.array == "img"]
+        assert ker_loads and img_loads
+        assert all(is_loop_invariant_load(small_conv, o) for o in ker_loads)
+        assert not any(is_loop_invariant_load(small_conv, o) for o in img_loads)
+
+    def test_fir_coeff_loads_not_invariant(self, small_fir):
+        """FIR's h[4k+j] varies with the tap loop: not hoistable."""
+        body = small_fir.blocks["body"]
+        h_loads = [o for o in body.ops
+                   if o.kind is OpKind.LOAD and o.array == "h"]
+        assert h_loads
+        assert not any(is_loop_invariant_load(small_fir, o) for o in h_loads)
+
+    def test_non_load_is_not_invariant(self, small_fir):
+        body = small_fir.blocks["body"]
+        mul = next(o for o in body.ops if o.kind is OpKind.MUL)
+        assert not is_loop_invariant_load(small_fir, mul)
+
+
+class TestCycleSafety:
+    def test_kernel_blocks_are_dags(self, small_fir, small_iir, small_conv):
+        import networkx as nx
+
+        for program in (small_fir, small_iir, small_conv):
+            for block in program.blocks.values():
+                deps = build_dependence_graph(block)
+                assert nx.is_directed_acyclic_graph(deps.graph)

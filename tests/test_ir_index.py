@@ -1,0 +1,115 @@
+"""Unit and property tests for affine index expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir import AffineIndex, loop_index
+
+
+def idx(mapping, const=0):
+    return AffineIndex.of(mapping, const)
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        assert idx({"i": 0, "j": 2}).terms == (("j", 2),)
+
+    def test_terms_sorted(self):
+        a = AffineIndex((("j", 1), ("i", 1)))
+        b = AffineIndex((("i", 1), ("j", 1)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_constant_factory(self):
+        c = AffineIndex.constant(7)
+        assert c.is_constant() and c.const == 7
+
+    def test_loop_index(self):
+        assert loop_index("n") == idx({"n": 1})
+
+
+class TestAlgebra:
+    def test_add_int(self):
+        assert (loop_index("i") + 3).const == 3
+
+    def test_add_index(self):
+        total = idx({"i": 1}, 1) + idx({"i": 2, "j": 1}, 2)
+        assert total == idx({"i": 3, "j": 1}, 3)
+
+    def test_sub_cancels(self):
+        diff = idx({"i": 4}, 5) - idx({"i": 4}, 2)
+        assert diff == AffineIndex.constant(3)
+
+    def test_scale(self):
+        assert (loop_index("k") * 4) == idx({"k": 4})
+        assert (4 * loop_index("k")) == idx({"k": 4})
+
+    def test_radd(self):
+        assert (2 + loop_index("i")) == idx({"i": 1}, 2)
+
+
+class TestEvaluate:
+    def test_basic(self):
+        assert idx({"i": 2, "j": -1}, 5).evaluate({"i": 3, "j": 4}) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(IRError, match="unbound"):
+            loop_index("i").evaluate({})
+
+    @given(
+        st.dictionaries(st.sampled_from("ijk"), st.integers(-5, 5), max_size=3),
+        st.integers(-100, 100),
+        st.dictionaries(st.sampled_from("ijk"), st.integers(0, 50),
+                        min_size=3, max_size=3),
+    )
+    def test_evaluate_is_linear(self, coeffs, const, env):
+        index = idx(coeffs, const)
+        expected = const + sum(c * env[v] for v, c in coeffs.items())
+        assert index.evaluate(env) == expected
+
+
+class TestConstantOffset:
+    def test_same_linear_part(self):
+        a = idx({"n": 1, "k": 4}, 3)
+        b = idx({"n": 1, "k": 4}, 1)
+        assert a.constant_offset_from(b) == 2
+
+    def test_different_linear_part(self):
+        assert idx({"n": 1}).constant_offset_from(idx({"k": 1})) is None
+
+    def test_reflexive_zero(self):
+        a = idx({"n": 2}, 9)
+        assert a.constant_offset_from(a) == 0
+
+
+class TestBounds:
+    def test_positive_coefficients(self):
+        lo, hi = idx({"i": 2}, 1).bounds({"i": (0, 9)})
+        assert (lo, hi) == (1, 19)
+
+    def test_negative_coefficients(self):
+        lo, hi = idx({"i": -1}, 10).bounds({"i": (0, 4)})
+        assert (lo, hi) == (6, 10)
+
+    def test_missing_extent(self):
+        with pytest.raises(IRError):
+            loop_index("i").bounds({})
+
+    @given(
+        st.integers(-4, 4), st.integers(-50, 50),
+        st.integers(0, 20), st.integers(0, 20),
+    )
+    def test_bounds_contain_all_samples(self, coeff, const, lo_i, width):
+        index = idx({"i": coeff}, const)
+        extent = (lo_i, lo_i + width)
+        lo, hi = index.bounds({"i": extent})
+        for value in range(extent[0], extent[1] + 1):
+            point = index.evaluate({"i": value})
+            assert lo <= point <= hi
+
+
+class TestStr:
+    def test_rendering(self):
+        assert str(idx({"n": 1, "k": 4}, 3)) == "4*k + n + 3"
+        assert str(AffineIndex.constant(0)) == "0"
+        assert "- i" in str(idx({"i": -1}, 5)) or "-i" in str(idx({"i": -1}, 5))

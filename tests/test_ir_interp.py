@@ -1,0 +1,151 @@
+"""Interpreter tests: numpy ground truth, tracing, error handling."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.errors import InterpreterError
+from repro.ir import ExecutionTrace, Interpreter, run_program
+from repro.kernels import conv2d, dot_product, fir, iir, sad
+
+
+class TestKernelSemantics:
+    """The paper's kernels must compute what scipy says they compute."""
+
+    def test_fir_matches_correlate(self, rng):
+        n, taps = 48, 16
+        program = fir(n_samples=n, n_taps=taps)
+        x = rng.uniform(-1, 1, n + taps - 1)
+        h = program.arrays["h"].values
+        got = run_program(program, {"x": x})["y"]
+        want = np.correlate(x, h, mode="valid")
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_iir_matches_lfilter_steady_state(self, rng):
+        """Initial conditions differ from lfilter's (the kernel starts
+        with zero *output* history), but the difference decays with the
+        filter's poles — the steady-state tails must agree."""
+        n, order = 192, 4
+        program = iir(n_samples=n, order=order)
+        shape = program.arrays["x"].shape
+        x = rng.uniform(-1, 1, shape)
+        got = run_program(program, {"x": x})["y"]
+        from repro.kernels.iir import default_iir_coefficients
+
+        b, a = default_iir_coefficients(order)
+        x_guard = shape[0] - n - order
+        y_guard = program.arrays["y"].shape[0] - n - order
+        want = scipy.signal.lfilter(b, a, x)
+        skip = 96  # transient from differing initial conditions
+        np.testing.assert_allclose(
+            got[order + y_guard + skip:],
+            want[order + x_guard + skip:],
+            atol=1e-8,
+        )
+
+    def test_iir_matches_manual_recurrence(self, rng):
+        """Exact check of the kernel's semantics, transient included."""
+        n, order = 48, 4
+        program = iir(n_samples=n, order=order)
+        x = rng.uniform(-1, 1, program.arrays["x"].shape)
+        got = run_program(program, {"x": x})["y"]
+        from repro.kernels.iir import default_iir_coefficients
+
+        b, a = default_iir_coefficients(order)
+        x_guard = program.arrays["x"].shape[0] - n - order
+        y_guard = program.arrays["y"].shape[0] - n - order
+        want = np.zeros(program.arrays["y"].shape)
+        for i in range(n):
+            s = i + order + y_guard
+            m = i + order + x_guard
+            acc = sum(b[k] * x[m - k] for k in range(order + 1))
+            acc -= sum(a[j] * want[s - j] for j in range(1, order + 1))
+            want[s] = acc
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_conv2d_matches_correlate2d(self, rng):
+        program = conv2d(height=12, width=14)
+        img = rng.uniform(-1, 1, (12, 14))
+        ker = program.arrays["ker"].values
+        got = run_program(program, {"img": img})["out"]
+        want = scipy.signal.correlate2d(img, ker, mode="valid")
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_dot_product(self, rng):
+        program = dot_product(length=32)
+        a = rng.uniform(-1, 1, 32)
+        b = rng.uniform(-1, 1, 32)
+        got = run_program(program, {"a": a, "b": b})["out"][0]
+        assert got == pytest.approx(float(a @ b))
+
+    def test_sad(self, rng):
+        program = sad(length=32)
+        a = rng.uniform(-1, 1, 32)
+        b = rng.uniform(-1, 1, 32)
+        got = run_program(program, {"ref": a, "cur": b})["out"][0]
+        assert got == pytest.approx(float(np.abs(a - b).sum()))
+
+
+class TestErrors:
+    def test_missing_input(self, tiny_program):
+        with pytest.raises(InterpreterError, match="missing input"):
+            run_program(tiny_program, {})
+
+    def test_wrong_shape(self, tiny_program):
+        with pytest.raises(InterpreterError, match="shape"):
+            run_program(tiny_program, {"x": np.zeros(3)})
+
+
+class TestRangeObserver:
+    def test_observes_every_op(self, tiny_program, rng):
+        seen = set()
+        interp = Interpreter(tiny_program)
+        interp.run(
+            {"x": rng.uniform(-1, 1, 8)},
+            range_observer=lambda opid, value: seen.add(opid),
+        )
+        assert seen == {op.opid for op in tiny_program.all_ops()}
+
+
+class TestTrace:
+    def test_instance_counts(self, tiny_program, rng):
+        trace = ExecutionTrace()
+        Interpreter(tiny_program).run({"x": rng.uniform(-1, 1, 8)}, trace=trace)
+        # init(2) + 8 * body(4 ops) + fin(2) + pseudo sources.
+        executed = sum(1 for s in trace.static if 0 <= s < tiny_program.n_ops)
+        assert executed == 2 + 8 * 4 + 2
+
+    def test_output_instances_are_output_stores(self, tiny_program, rng):
+        trace = ExecutionTrace()
+        Interpreter(tiny_program).run({"x": rng.uniform(-1, 1, 8)}, trace=trace)
+        assert len(trace.output_instances) == 1
+        static = trace.static[trace.output_instances[0]]
+        assert tiny_program.op(static).array == "y"
+
+    def test_input_cells_get_pseudo_sources(self, tiny_program, rng):
+        trace = ExecutionTrace()
+        Interpreter(tiny_program).run({"x": rng.uniform(-1, 1, 8)}, trace=trace)
+        cells = {key for key in trace.cell_sources if key[0] == "x"}
+        assert len(cells) == 8
+
+    def test_operand_links_are_backward(self, tiny_program, rng):
+        trace = ExecutionTrace()
+        Interpreter(tiny_program).run({"x": rng.uniform(-1, 1, 8)}, trace=trace)
+        for inst, operands in enumerate(trace.operands):
+            for producer in operands:
+                assert producer < inst
+
+    def test_partials_match_operands(self, tiny_program, rng):
+        trace = ExecutionTrace()
+        Interpreter(tiny_program).run({"x": rng.uniform(-1, 1, 8)}, trace=trace)
+        for operands, partials in zip(trace.operands, trace.partials):
+            assert len(operands) == len(partials)
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, rng):
+        program = fir(n_samples=16, n_taps=8)
+        x = rng.uniform(-1, 1, 23)
+        first = run_program(program, {"x": x})["y"]
+        second = run_program(program, {"x": x})["y"]
+        np.testing.assert_array_equal(first, second)

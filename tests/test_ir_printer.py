@@ -1,0 +1,65 @@
+"""IR printer tests."""
+
+from repro.ir import OpKind, format_block, format_op, format_program
+
+
+class TestFormatOp:
+    def test_infix_arith(self, small_fir):
+        mul = next(o for o in small_fir.all_ops() if o.kind is OpKind.MUL)
+        text = format_op(mul)
+        assert "*" in text and f"%{mul.opid} =" in text
+
+    def test_load_subscript(self, small_fir):
+        load = next(o for o in small_fir.all_ops() if o.kind is OpKind.LOAD)
+        assert f"{load.array}[" in format_op(load)
+
+    def test_store_lhs(self, small_fir):
+        store = small_fir.output_store_ops()[0]
+        assert format_op(store).startswith("y[")
+
+    def test_var_ops(self, tiny_program):
+        read = next(
+            o for o in tiny_program.all_ops() if o.kind is OpKind.READVAR
+        )
+        write = next(
+            o for o in tiny_program.all_ops() if o.kind is OpKind.WRITEVAR
+        )
+        assert "$acc" in format_op(read)
+        assert format_op(write).startswith("$acc =")
+
+    def test_label_suffix(self, small_fir):
+        labelled = next(o for o in small_fir.all_ops() if o.label)
+        assert f"; {labelled.label}" in format_op(labelled)
+
+    def test_minmax_function_style(self):
+        from repro.ir import ProgramBuilder
+
+        b = ProgramBuilder("m")
+        x = b.input_array("x", (2,), value_range=(-1, 1))
+        y = b.output_array("y", (1,))
+        with b.block("blk"):
+            v = b.min_(b.load(x, 0), b.load(x, 1))
+            b.store(y, 0, b.abs_(v))
+        program = b.build()
+        text = format_block(program.blocks["blk"])
+        assert "min(" in text and "abs(" in text
+
+
+class TestFormatProgram:
+    def test_full_dump(self, small_fir):
+        text = format_program(small_fir)
+        assert "program fir16:" in text
+        assert "array x[79] : input" in text
+        assert "for n in 0..63:" in text
+        assert "for k in 0..3:" in text
+        assert "block body:" in text
+
+    def test_str_dunder(self, tiny_program):
+        assert str(tiny_program) == format_program(tiny_program)
+
+    def test_indentation_tracks_nesting(self, small_fir):
+        lines = format_program(small_fir).splitlines()
+        body_header = next(l for l in lines if "block body" in l)
+        init_header = next(l for l in lines if "block init" in l)
+        indent = lambda s: len(s) - len(s.lstrip())
+        assert indent(body_header) > indent(init_header)

@@ -1,0 +1,85 @@
+"""IWL determination tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint import (
+    FixedPointSpec,
+    Interval,
+    QFormat,
+    SlotMap,
+    analyze_ranges,
+    assign_iwls,
+    iwl_for_interval,
+    iwl_for_magnitude,
+)
+
+
+class TestIwlForMagnitude:
+    @pytest.mark.parametrize("magnitude,want", [
+        (0.0, 1),      # degenerate: sign bit only
+        (0.4, 1),      # fits Q1.x
+        (1.0, 1),      # power of two saturates one quantum (Q1.15 style)
+        (1.0001, 2),
+        (1.5, 2),
+        (2.0, 2),      # power of two again
+        (2.5, 3),
+        (16.0, 5),
+        (100.0, 8),
+    ])
+    def test_cases(self, magnitude, want):
+        assert iwl_for_magnitude(magnitude) == want
+
+    def test_min_iwl_floor(self):
+        assert iwl_for_magnitude(0.001, min_iwl=3) == 3
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_range_is_covered(self, magnitude):
+        iwl = iwl_for_magnitude(magnitude)
+        fmt = QFormat(iwl, 24)
+        # Covered up to the one-quantum saturation allowance.
+        assert fmt.max_value >= magnitude - magnitude * 2 ** -20 - fmt.quantum
+        assert fmt.min_value <= -magnitude
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_minimality(self, magnitude):
+        """One bit fewer would not cover the magnitude."""
+        iwl = iwl_for_magnitude(magnitude)
+        if iwl > 1:
+            smaller = 2.0 ** (iwl - 2)
+            assert magnitude * (1 - 2 ** -24) > smaller or iwl == 1
+
+
+class TestIwlForInterval:
+    def test_asymmetric_interval(self):
+        assert iwl_for_interval(Interval(-3.0, 1.0)) == 3
+
+    def test_positive_only_interval(self):
+        assert iwl_for_interval(Interval(0.0, 0.9)) == 1
+
+
+class TestAssignIwls:
+    def test_every_root_gets_an_iwl(self, small_fir):
+        slotmap = SlotMap(small_fir)
+        ranges = analyze_ranges(small_fir, slotmap)
+        spec = FixedPointSpec(slotmap)
+        assign_iwls(spec, ranges)
+        for root in slotmap.roots:
+            interval = ranges.ranges.get(root)
+            if interval is None:
+                assert spec.iwl(root) == 1
+            else:
+                assert spec.iwl(root) == iwl_for_interval(interval)
+
+    def test_wl_untouched(self, small_fir):
+        slotmap = SlotMap(small_fir)
+        spec = FixedPointSpec(slotmap, max_wl=32)
+        assign_iwls(spec, analyze_ranges(small_fir, slotmap))
+        assert all(spec.wl(root) == 32 for root in slotmap.roots)
+
+    def test_inputs_get_q1(self, small_fir):
+        """[-1, 1]-normalized inputs must land on iwl=1 (Q1.x)."""
+        slotmap = SlotMap(small_fir)
+        spec = FixedPointSpec(slotmap)
+        assign_iwls(spec, analyze_ranges(small_fir, slotmap))
+        assert spec.iwl(slotmap.slot_of_symbol("x")) == 1

@@ -1,0 +1,124 @@
+"""Dynamic-range analysis tests: interval vs simulation vs truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RangeAnalysisError
+from repro.fixedpoint import (
+    SlotMap,
+    analyze_ranges,
+    interval_ranges,
+    simulation_ranges,
+)
+from repro.ir import Interpreter, OpKind
+
+
+def _observed_extremes(program, slotmap, n_draws=12, seed=7):
+    """Ground truth: min/max per root slot over many random runs."""
+    rng = np.random.default_rng(seed)
+    observed = {}
+
+    def observe(opid, value):
+        root = slotmap.root_of(opid)
+        lo, hi = observed.get(root, (value, value))
+        observed[root] = (min(lo, value), max(hi, value))
+
+    interp = Interpreter(program)
+    for _ in range(n_draws):
+        inputs = {
+            decl.name: rng.uniform(*decl.value_range, size=decl.shape)
+            for decl in program.input_arrays()
+        }
+        interp.run(inputs, range_observer=observe)
+    return observed
+
+
+class TestIntervalAnalysis:
+    def test_fir_converges(self, small_fir):
+        result = interval_ranges(small_fir)
+        assert result.method == "interval"
+
+    def test_fir_bounds_are_sound(self, small_fir):
+        slotmap = SlotMap(small_fir)
+        result = interval_ranges(small_fir, slotmap)
+        for root, (lo, hi) in _observed_extremes(small_fir, slotmap).items():
+            interval = result.ranges[root]
+            assert interval.lo <= lo + 1e-9 and hi - 1e-9 <= interval.hi
+
+    def test_fir_accumulator_bound_is_l1_norm(self, small_fir):
+        """Concrete coefficient enumeration gives the tight L1 bound,
+        not the trip*max blow-up."""
+        slotmap = SlotMap(small_fir)
+        result = interval_ranges(small_fir, slotmap)
+        h = small_fir.arrays["h"].values
+        l1 = np.abs(h).sum()
+        acc = result.range_of(slotmap.slot_of_symbol("acc0"))
+        assert acc.magnitude <= l1 + 1e-9
+
+    def test_conv_converges(self, small_conv):
+        result = interval_ranges(small_conv)
+        slotmap = result.slotmap
+        out = result.range_of(slotmap.slot_of_symbol("out"))
+        ker = small_conv.arrays["ker"].values
+        assert out.magnitude <= np.abs(ker).sum() + 1e-9
+
+    def test_iir_diverges(self, small_iir):
+        with pytest.raises(RangeAnalysisError, match="converge"):
+            interval_ranges(small_iir)
+
+
+class TestSimulationAnalysis:
+    def test_covers_declared_input_range(self, small_fir):
+        result = simulation_ranges(small_fir)
+        x_slot = result.slotmap.slot_of_symbol("x")
+        interval = result.range_of(x_slot)
+        assert interval.lo <= -1.0 and interval.hi >= 1.0
+
+    def test_margin_widens(self, small_fir):
+        tight = simulation_ranges(small_fir, margin=0.0)
+        wide = simulation_ranges(small_fir, margin=0.5)
+        for root, interval in tight.ranges.items():
+            assert wide.ranges[root].encloses(interval)
+
+    def test_iir_ranges_bounded(self, small_iir):
+        result = simulation_ranges(small_iir)
+        y = result.range_of(result.slotmap.slot_of_symbol("y"))
+        assert y.magnitude < 100.0  # the filter is stable
+
+    def test_deterministic_given_seed(self, small_fir):
+        a = simulation_ranges(small_fir, seed=3)
+        b = simulation_ranges(small_fir, seed=3)
+        assert a.ranges == b.ranges
+
+
+class TestAutoDispatch:
+    def test_feedforward_uses_interval(self, small_fir):
+        assert analyze_ranges(small_fir).method == "interval"
+
+    def test_recursive_falls_back_to_simulation(self, small_iir):
+        assert analyze_ranges(small_iir).method == "simulation"
+
+    def test_explicit_methods(self, small_fir):
+        assert analyze_ranges(small_fir, method="simulation").method == "simulation"
+        assert analyze_ranges(small_fir, method="interval").method == "interval"
+
+    def test_unknown_method(self, small_fir):
+        with pytest.raises(RangeAnalysisError, match="unknown"):
+            analyze_ranges(small_fir, method="psychic")
+
+
+class TestRangeResult:
+    def test_range_of_resolves_ties(self, small_fir):
+        result = analyze_ranges(small_fir)
+        load = next(o for o in small_fir.all_ops() if o.kind is OpKind.LOAD)
+        by_op = result.range_of(load.opid)
+        by_symbol = result.range_of(
+            result.slotmap.slot_of_symbol(load.array)
+        )
+        assert by_op == by_symbol
+
+    def test_missing_range_raises(self, small_fir):
+        result = analyze_ranges(small_fir)
+        result.ranges.clear()
+        with pytest.raises(RangeAnalysisError, match="no range"):
+            result.range_of(0)

@@ -1,0 +1,70 @@
+"""Report rendering tests (tables, ASCII plots)."""
+
+import json
+
+import pytest
+
+from repro.report import TextTable, line_plot
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(headers=("name", "value"), title="T")
+        table.add_row("a", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_row_arity_checked(self):
+        table = TextTable(headers=("a", "b"))
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = TextTable(headers=("x",))
+        table.add_row(1.23456)
+        assert "1.23" in table.render()
+
+    def test_csv_round_trip(self, tmp_path):
+        table = TextTable(headers=("a", "b"))
+        table.add_row(1, "x")
+        path = tmp_path / "t.csv"
+        text = table.to_csv(path)
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,x"
+
+    def test_json_export(self, tmp_path):
+        table = TextTable(headers=("a",), title="T")
+        table.add_row(7)
+        payload = json.loads(table.to_json(tmp_path / "t.json"))
+        assert payload["title"] == "T"
+        assert payload["rows"] == [{"a": 7}]
+
+
+class TestLinePlot:
+    def test_empty(self):
+        assert "(no data)" in line_plot({}, title="empty")
+
+    def test_glyphs_and_legend(self):
+        text = line_plot({
+            "first": [(-5, 1.0), (-15, 1.2)],
+            "second": [(-5, 0.9), (-15, 1.1)],
+        }, title="demo")
+        assert "demo" in text
+        assert "o=first" in text and "x=second" in text
+        assert text.count("o") >= 2
+
+    def test_y_extremes_labeled(self):
+        text = line_plot({"s": [(0, 1.0), (1, 3.0)]})
+        assert "3." in text and "0." in text or "1." in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot({"s": [(0, 1.0), (1, 1.0), (2, 1.0)]})
+        assert "s" in text
+
+    def test_x_ticks_rendered(self):
+        text = line_plot({"s": [(-5, 1.0), (-65, 2.0)]}, x_label="dB")
+        assert "-65" in text and "-5" in text and "[dB]" in text

@@ -1,0 +1,182 @@
+"""List scheduler tests, including hypothesis random-DAG properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.scheduler import MachineBlock, program_cycles, schedule_block
+from repro.targets import TargetModel, get_target
+
+
+def _target(issue=2, alu=1, mul=1, mem=1):
+    return TargetModel(
+        name="t", issue_width=issue,
+        units={"alu": alu, "mul": mul, "mem": mem, "sfu": 1},
+        latencies={"alu": 1, "mul": 3, "mem": 2},
+    )
+
+
+@st.composite
+def random_blocks(draw):
+    """Random DAGs of machine ops with emission-order dependences."""
+    n = draw(st.integers(1, 24))
+    block = MachineBlock("rand")
+    units = ["alu", "mul", "mem"]
+    for mid in range(n):
+        preds = ()
+        if mid:
+            preds = tuple(sorted(draw(
+                st.sets(st.integers(0, mid - 1), max_size=3)
+            )))
+        unit = draw(st.sampled_from(units))
+        latency = {"alu": 1, "mul": 3, "mem": 2}[unit]
+        block.add(f"op{mid}", unit, latency, preds=preds)
+    return block
+
+
+class TestBasicScheduling:
+    def test_empty_block(self):
+        schedule = schedule_block(MachineBlock("empty"), _target())
+        assert schedule.length == 0
+
+    def test_single_op(self):
+        block = MachineBlock("one")
+        block.add("mul", "mul", 3)
+        schedule = schedule_block(block, _target())
+        assert schedule.length == 3
+
+    def test_dependent_chain_is_serial(self):
+        block = MachineBlock("chain")
+        a = block.add("a", "alu", 1)
+        b = block.add("b", "alu", 1, preds=(a,))
+        block.add("c", "alu", 1, preds=(b,))
+        schedule = schedule_block(block, _target(issue=4, alu=4))
+        assert schedule.length == 3
+
+    def test_independent_ops_pack_into_width(self):
+        block = MachineBlock("par")
+        for _ in range(8):
+            block.add("a", "alu", 1)
+        wide = schedule_block(block, _target(issue=8, alu=8))
+        narrow = schedule_block(block, _target(issue=2, alu=2))
+        assert wide.length == 1
+        assert narrow.length == 4
+
+    def test_unit_contention(self):
+        """Four muls on one pipelined mul unit issue back to back."""
+        block = MachineBlock("muls")
+        for _ in range(4):
+            block.add("mul", "mul", 3)
+        schedule = schedule_block(block, _target(issue=4, mul=1))
+        assert schedule.length == 3 + 3  # last issues at cycle 3
+
+    def test_non_pipelined_unit_serializes(self):
+        target = TargetModel(
+            name="t", issue_width=4,
+            units={"alu": 1, "mul": 1, "mem": 1, "sfu": 1},
+            latencies={"alu": 1, "mul": 3, "mem": 2},
+            softfloat_cycles={"fadd": 10},
+        )
+        block = MachineBlock("soft")
+        for _ in range(3):
+            block.add("fadd", "sfu", 10)
+        schedule = schedule_block(block, target)
+        assert schedule.length == 30  # busy for full latency each
+
+    def test_forward_reference_rejected(self):
+        from repro.scheduler import MachineOp
+
+        block = MachineBlock("bad")
+        block.ops.append(MachineOp(0, "a", "alu", 1, preds=(1,)))
+        block.ops.append(MachineOp(1, "b", "alu", 1))
+        with pytest.raises(SchedulerError, match="later"):
+            schedule_block(block, _target())
+
+    def test_missing_unit_rejected(self):
+        block = MachineBlock("nounit")
+        block.add("weird", "dsp56k", 1)
+        with pytest.raises(SchedulerError, match="no 'dsp56k' unit"):
+            schedule_block(block, _target())
+
+
+class TestScheduleProperties:
+    @given(random_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_dependences_respected(self, block):
+        target = _target(issue=2)
+        schedule = schedule_block(block, target)
+        for op in block.ops:
+            for pred in op.preds:
+                pred_op = block.ops[pred]
+                assert (
+                    schedule.issue_cycle[pred] + pred_op.latency
+                    <= schedule.issue_cycle[op.mid]
+                )
+
+    @given(random_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_resources_respected(self, block):
+        target = _target(issue=2)
+        schedule = schedule_block(block, target)
+        by_cycle: dict[int, list] = {}
+        for op in block.ops:
+            by_cycle.setdefault(schedule.issue_cycle[op.mid], []).append(op)
+        for ops in by_cycle.values():
+            assert len(ops) <= target.issue_width
+            for unit, count in target.units.items():
+                used = sum(1 for op in ops if op.unit == unit)
+                assert used <= count
+
+    @given(random_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_length_lower_bounds(self, block):
+        """Schedule length >= critical path and >= work/width."""
+        target = _target(issue=2)
+        schedule = schedule_block(block, target)
+        critical = {op.mid: op.latency for op in block.ops}
+        for op in block.ops:
+            for pred in op.preds:
+                critical[op.mid] = max(
+                    critical[op.mid],
+                    critical[pred] + op.latency,
+                )
+        assert schedule.length >= max(critical.values())
+        assert schedule.length >= -(-len(block.ops) // target.issue_width)
+
+    @given(random_blocks())
+    @settings(max_examples=30, deadline=None)
+    def test_every_op_scheduled_once(self, block):
+        schedule = schedule_block(block, _target())
+        assert all(c >= 0 for c in schedule.issue_cycle)
+        assert schedule.n_ops == len(block.ops)
+
+
+class TestProgramCycles:
+    def test_loop_multiplication(self, tiny_program):
+        target = get_target("xentium")
+        from repro.codegen import lower_scalar_program
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+
+        spec = FixedPointSpec(SlotMap(tiny_program))
+        lowered = lower_scalar_program(tiny_program, spec, target)
+        report = program_cycles(tiny_program, lowered, target)
+        body = report.block_cycles("body")
+        init = report.block_cycles("init")
+        fin = report.block_cycles("fin")
+        overhead = target.loop_overhead_cycles()
+        assert report.total_cycles == init + 8 * (body + overhead) + fin
+
+    def test_missing_block_rejected(self, tiny_program):
+        with pytest.raises(SchedulerError, match="not lowered"):
+            program_cycles(tiny_program, {}, get_target("xentium"))
+
+    def test_report_summary(self, tiny_program):
+        from repro.codegen import lower_scalar_program
+        from repro.fixedpoint import FixedPointSpec, SlotMap
+
+        target = get_target("xentium")
+        spec = FixedPointSpec(SlotMap(tiny_program))
+        lowered = lower_scalar_program(tiny_program, spec, target)
+        report = program_cycles(tiny_program, lowered, target)
+        text = report.summary()
+        assert "tiny" in text and "cycles" in text

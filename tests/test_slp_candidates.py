@@ -1,0 +1,149 @@
+"""SLP candidate extraction tests."""
+
+import pytest
+
+from repro.fixedpoint import SlotMap
+from repro.ir import OpKind, build_dependence_graph
+from repro.slp import (
+    Candidate,
+    extract_candidates,
+    initial_items,
+    memory_lane_stride,
+)
+from repro.targets import get_target, vex
+
+
+def _body_candidates(program, target_name="xentium"):
+    block = program.blocks["body"]
+    deps = build_dependence_graph(block)
+    items = initial_items(block)
+    return extract_candidates(
+        program, items, deps, get_target(target_name)
+    ), block
+
+
+class TestInitialItems:
+    def test_only_simdizable_ops(self, small_fir):
+        items = initial_items(small_fir.blocks["body"])
+        kinds = {small_fir.op(item[0]).kind for item in items}
+        assert OpKind.READVAR not in kinds
+        assert OpKind.WRITEVAR not in kinds
+        assert OpKind.CONST not in kinds
+        assert OpKind.MUL in kinds and OpKind.LOAD in kinds
+
+
+class TestStructuralRules:
+    def test_kinds_are_isomorphic(self, small_fir):
+        candidates, _ = _body_candidates(small_fir)
+        for candidate in candidates:
+            kinds = {small_fir.op(o).kind for o in candidate.lanes}
+            assert kinds == {candidate.kind}
+
+    def test_memory_lanes_share_array(self, small_fir):
+        candidates, _ = _body_candidates(small_fir)
+        for candidate in candidates:
+            if candidate.kind is OpKind.LOAD:
+                arrays = {small_fir.op(o).array for o in candidate.lanes}
+                assert len(arrays) == 1
+
+    def test_lanes_are_independent(self, small_fir):
+        candidates, block = _body_candidates(small_fir)
+        deps = build_dependence_graph(block)
+        for candidate in candidates:
+            for a in candidate.left:
+                for b in candidate.right:
+                    assert deps.independent(a, b)
+
+    def test_accumulator_adds_do_not_pair_across_chain(self, tiny_program):
+        """A single accumulator chain has no independent add pairs."""
+        block = tiny_program.blocks["body"]
+        deps = build_dependence_graph(block)
+        items = initial_items(block)
+        candidates = extract_candidates(
+            tiny_program, items, deps, get_target("xentium")
+        )
+        assert all(c.kind is not OpKind.ADD for c in candidates)
+
+    def test_lane_wl_from_eq1(self, small_fir):
+        candidates, _ = _body_candidates(small_fir)
+        target = get_target("xentium")
+        for candidate in candidates:
+            assert candidate.wl == target.group_wl(candidate.size) == 16
+
+    def test_no_candidates_without_simd(self, small_fir):
+        from repro.targets import TargetModel
+
+        scalar_only = TargetModel(name="plain", issue_width=2, simd_widths=())
+        block = small_fir.blocks["body"]
+        deps = build_dependence_graph(block)
+        candidates = extract_candidates(
+            small_fir, initial_items(block), deps, scalar_only
+        )
+        assert candidates == []
+
+
+class TestWidening:
+    def test_pairs_of_pairs(self, small_fir):
+        """After merging two mul pairs, a 4-lane candidate exists on
+        VEX (which supports 4x8) but not on XENTIUM (2x16 only)."""
+        block = small_fir.blocks["body"]
+        deps = build_dependence_graph(block)
+        muls = [o.opid for o in block.ops if o.kind is OpKind.MUL]
+        items = [(muls[0], muls[1]), (muls[2], muls[3])]
+        on_vex = extract_candidates(small_fir, items, deps, vex(4))
+        assert len(on_vex) == 1 and on_vex[0].size == 4 and on_vex[0].wl == 8
+        on_xentium = extract_candidates(
+            small_fir, items, deps, get_target("xentium")
+        )
+        assert on_xentium == []
+
+    def test_unequal_sizes_do_not_combine(self, small_fir):
+        block = small_fir.blocks["body"]
+        deps = build_dependence_graph(block)
+        muls = [o.opid for o in block.ops if o.kind is OpKind.MUL]
+        items = [(muls[0], muls[1]), (muls[2],), (muls[3],)]
+        candidates = extract_candidates(small_fir, items, deps, vex(4))
+        sizes = {c.size for c in candidates}
+        assert sizes == {2}  # only the two singletons pair
+
+
+class TestCandidateHelpers:
+    def test_shares_op_with(self):
+        a = Candidate((1,), (2,), OpKind.MUL, 16)
+        b = Candidate((2,), (3,), OpKind.MUL, 16)
+        c = Candidate((4,), (5,), OpKind.MUL, 16)
+        assert a.shares_op_with(b)
+        assert not a.shares_op_with(c)
+
+    def test_lane_order_canonical(self, small_fir):
+        candidates, _ = _body_candidates(small_fir)
+        for candidate in candidates:
+            assert candidate.left[0] < candidate.right[0]
+
+
+class TestMemoryLaneStride:
+    def test_contiguous_loads(self, small_fir):
+        block = small_fir.blocks["body"]
+        x_loads = tuple(
+            o.opid for o in block.ops
+            if o.kind is OpKind.LOAD and o.array == "x"
+        )
+        assert memory_lane_stride(small_fir, x_loads) == 1
+        assert memory_lane_stride(small_fir, tuple(reversed(x_loads))) == -1
+
+    def test_strided_2d_loads(self, small_conv):
+        block = small_conv.blocks["body"]
+        img_loads = [o for o in block.ops
+                     if o.kind is OpKind.LOAD and o.array == "img"]
+        row0 = tuple(o.opid for o in img_loads[:3])  # same row, dc 0,1,2
+        assert memory_lane_stride(small_conv, row0) == 1
+        col = (img_loads[0].opid, img_loads[3].opid)  # rows 0 and 1
+        width = small_conv.arrays["img"].shape[1]
+        assert memory_lane_stride(small_conv, col) == width
+
+    def test_non_memory_lanes(self, small_fir):
+        muls = tuple(
+            o.opid for o in small_fir.blocks["body"].ops
+            if o.kind is OpKind.MUL
+        )
+        assert memory_lane_stride(small_fir, muls[:2]) is None

@@ -1,0 +1,151 @@
+"""Extraction driver tests: selection loop, widening, decoupled mode."""
+
+import pytest
+
+from repro.errors import SLPError
+from repro.fixedpoint import FixedPointSpec, SlotMap
+from repro.ir import OpKind, build_dependence_graph
+from repro.slp import (
+    Candidate,
+    GroupSet,
+    SelectionStats,
+    build_group_set,
+    extract_groups_decoupled,
+    initial_items,
+    merge_items,
+)
+from repro.targets import get_target, vex
+
+
+def _uniform_spec(program, wl):
+    spec = FixedPointSpec(SlotMap(program))
+    for root in spec.slotmap.roots:
+        spec.set_wl(root, wl)
+    return spec
+
+
+class TestMergeItems:
+    def test_merge_replaces_parts(self):
+        items = [(1,), (2,), (3,), (4,)]
+        selected = [Candidate((1,), (2,), OpKind.MUL, 16)]
+        merged = merge_items(items, selected)
+        assert (1, 2) in merged
+        assert (3,) in merged and (4,) in merged
+        assert (1,) not in merged
+
+    def test_conflicting_selection_rejected(self):
+        items = [(1,), (2,), (3,)]
+        selected = [
+            Candidate((1,), (2,), OpKind.MUL, 16),
+            Candidate((2,), (3,), OpKind.MUL, 16),
+        ]
+        with pytest.raises(SLPError, match="conflict-free"):
+            merge_items(items, selected)
+
+
+class TestBuildGroupSet:
+    def test_singletons_excluded(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        groups = build_group_set(
+            small_fir.blocks["body"], [(7, 13), (5,)], small_fir, spec
+        )
+        assert len(groups) == 1
+        assert groups.groups[0].wl == 16
+
+    def test_group_lookup(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        groups = build_group_set(
+            small_fir.blocks["body"], [(7, 13)], small_fir, spec
+        )
+        group, lane = groups.group_of(13)
+        assert lane == 1
+        assert groups.group_of(999) is None
+        assert groups.producer_group((7, 13)) is group
+        assert groups.producer_group((13, 7)) is None
+
+
+class TestDecoupledExtraction:
+    def test_uniform_16bit_groups_everything(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        stats = SelectionStats()
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec,
+            get_target("xentium"), stats,
+        )
+        grouped_kinds = {g.kind for g in groups}
+        assert OpKind.MUL in grouped_kinds
+        assert OpKind.LOAD in grouped_kinds
+        assert stats.candidates_selected == len(groups)
+
+    def test_32bit_spec_groups_nothing(self, small_fir):
+        spec = _uniform_spec(small_fir, 32)
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, get_target("xentium")
+        )
+        assert len(groups) == 0  # 32-bit lanes don't fit 2x16
+
+    def test_mixed_wl_blocks_groups(self, small_fir):
+        """The paper's core failure mode: WLO-assigned mixed word
+        lengths prevent grouping."""
+        spec = _uniform_spec(small_fir, 16)
+        muls = [o for o in small_fir.all_ops() if o.kind is OpKind.MUL]
+        spec.set_wl(muls[0].opid, 32)  # one wide mul
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, get_target("xentium")
+        )
+        assert groups.group_of(muls[0].opid) is None
+
+    def test_wide_mul_operand_blocks_group(self, small_fir):
+        """A 16-bit multiply fed by a 32-bit producer cannot join a
+        2x16 vector multiply (no narrowing after the fact)."""
+        spec = _uniform_spec(small_fir, 16)
+        spec.set_wl(spec.slotmap.slot_of_symbol("x"), 32)
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, get_target("xentium")
+        )
+        assert all(g.kind is not OpKind.MUL for g in groups)
+
+    def test_widening_on_vex(self, small_fir):
+        """8-bit specs widen to 4-lane groups on VEX (4x8 support)."""
+        spec = _uniform_spec(small_fir, 8)
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, vex(4)
+        )
+        sizes = {g.size for g in groups}
+        assert 4 in sizes
+
+    def test_no_widening_on_xentium(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, get_target("xentium")
+        )
+        assert {g.size for g in groups} <= {2}
+
+
+class TestGroupSetInvariants:
+    def test_each_op_in_one_group(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        groups = extract_groups_decoupled(
+            small_fir, small_fir.blocks["body"], spec, get_target("xentium")
+        )
+        seen = set()
+        for group in groups:
+            for opid in group.lanes:
+                assert opid not in seen
+                seen.add(opid)
+
+    def test_duplicate_add_rejected(self, small_fir):
+        spec = _uniform_spec(small_fir, 16)
+        groups = GroupSet("body")
+        from repro.slp import SIMDGroup
+
+        groups.add(SIMDGroup(0, "body", OpKind.MUL, (7, 13), 16))
+        with pytest.raises(SLPError, match="already"):
+            groups.add(SIMDGroup(1, "body", OpKind.MUL, (13, 19), 16))
+
+    def test_wrong_block_rejected(self):
+        from repro.slp import SIMDGroup
+
+        groups = GroupSet("body")
+        with pytest.raises(SLPError, match="belongs"):
+            groups.add(SIMDGroup(0, "other", OpKind.MUL, (1, 2), 16))

@@ -1,0 +1,121 @@
+"""Target model tests."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.targets import (
+    TargetModel,
+    available_targets,
+    get_target,
+    register_target,
+    vex,
+)
+
+
+class TestRegistry:
+    def test_paper_targets_available(self):
+        names = available_targets()
+        for name in ("xentium", "st240", "vex-1", "vex-4"):
+            assert name in names
+
+    def test_case_insensitive(self):
+        assert get_target("XENTIUM").name == "xentium"
+
+    def test_unknown_raises(self):
+        with pytest.raises(TargetError, match="unknown target"):
+            get_target("pentium")
+
+    def test_register_custom(self):
+        register_target(
+            "test-custom",
+            lambda: TargetModel(name="test-custom", issue_width=2),
+        )
+        assert get_target("test-custom").issue_width == 2
+
+    def test_fresh_instances(self):
+        assert get_target("xentium") is not get_target("xentium")
+
+
+class TestEquationOne:
+    """Paper eq. (1): m * Nelem <= SIMD size."""
+
+    def test_xentium_pairs_only(self):
+        xentium = get_target("xentium")
+        assert xentium.group_wl(2) == 16
+        assert xentium.group_wl(4) is None
+        assert xentium.max_group_size == 2
+
+    def test_vex_supports_quads(self):
+        model = vex(4)
+        assert model.group_wl(2) == 16
+        assert model.group_wl(3) == 8
+        assert model.group_wl(4) == 8
+        assert model.group_wl(5) is None
+        assert model.max_group_size == 4
+
+    def test_lanes_for_wl(self):
+        model = vex(1)
+        assert model.lanes_for_wl(16) == 2
+        assert model.lanes_for_wl(8) == 4
+        assert model.lanes_for_wl(32) == 1
+        assert model.lanes_for_wl(24) == 1
+
+    def test_supported_wls(self):
+        assert get_target("xentium").supported_wls == (32, 16)
+        assert vex(4).supported_wls == (32, 16, 8)
+
+
+class TestPaperProperties:
+    def test_xentium_has_no_fpu(self):
+        assert not get_target("xentium").has_hw_float
+
+    def test_st240_has_fpu(self):
+        assert get_target("st240").has_hw_float
+
+    def test_vex_issue_widths(self):
+        assert vex(1).issue_width == 1
+        assert vex(4).issue_width == 4
+
+    def test_loop_overhead_shrinks_with_width(self):
+        assert vex(1).loop_overhead_cycles() > vex(4).loop_overhead_cycles()
+
+
+class TestValidation:
+    def test_bad_issue_width(self):
+        with pytest.raises(TargetError):
+            TargetModel(name="bad", issue_width=0)
+        with pytest.raises(TargetError):
+            vex(0)
+
+    def test_bad_simd_width(self):
+        with pytest.raises(TargetError, match="subdivide"):
+            TargetModel(name="bad", issue_width=2, simd_widths=(24,))
+        with pytest.raises(TargetError, match="subdivide"):
+            TargetModel(name="bad", issue_width=2, simd_widths=(32,))
+
+    def test_missing_units(self):
+        with pytest.raises(TargetError, match="at least one"):
+            TargetModel(name="bad", issue_width=2, units={"alu": 1, "mul": 1})
+
+    def test_missing_latency(self):
+        model = TargetModel(name="m", issue_width=2)
+        with pytest.raises(TargetError, match="no latency"):
+            model.latency("teleport")
+
+    def test_missing_softfloat_cost(self):
+        model = TargetModel(name="m", issue_width=2)
+        with pytest.raises(TargetError, match="no soft-float"):
+            model.softfloat_latency("fdiv")
+
+
+class TestCosts:
+    def test_pack_unpack_costs(self):
+        model = get_target("xentium")
+        assert model.pack_ops(2) == 1
+        assert model.pack_ops(4) == 3
+        assert model.unpack_ops(2) == 1
+        assert model.pack_ops(1) == 0
+
+    def test_describe(self):
+        text = get_target("xentium").describe()
+        assert "12-issue" in text and "2x16" in text and "soft float" in text

@@ -1,0 +1,99 @@
+"""Unit tests for repro.utils."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    ceil_div,
+    chunked,
+    clamp,
+    db_to_power,
+    pairs,
+    power_to_db,
+    stable_unique,
+)
+
+
+class TestDbConversions:
+    def test_round_trip(self):
+        assert power_to_db(db_to_power(-37.5)) == pytest.approx(-37.5)
+
+    def test_known_values(self):
+        assert power_to_db(1.0) == pytest.approx(0.0)
+        assert power_to_db(0.1) == pytest.approx(-10.0)
+        assert db_to_power(20.0) == pytest.approx(100.0)
+
+    def test_zero_power_clamped(self):
+        assert power_to_db(0.0) == -400.0
+        assert power_to_db(-1.0) == -400.0
+        assert power_to_db(0.0, floor_db=-123.0) == -123.0
+
+    @given(st.floats(min_value=-200, max_value=200))
+    def test_round_trip_property(self, db):
+        assert math.isclose(power_to_db(db_to_power(db)), db, abs_tol=1e-9)
+
+
+class TestPairs:
+    def test_counts(self):
+        assert len(list(pairs([1, 2, 3, 4]))) == 6
+        assert list(pairs([1])) == []
+        assert list(pairs([])) == []
+
+    def test_unordered_distinct(self):
+        result = list(pairs("abc"))
+        assert ("a", "b") in result and ("b", "a") not in result
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_concatenation_identity(self, items, size):
+        flattened = [x for chunk in chunked(items, size) for x in chunk]
+        assert flattened == items
+
+
+class TestStableUnique:
+    def test_preserves_first_seen_order(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_empty(self):
+        assert stable_unique([]) == []
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_outside(self):
+        assert clamp(-3.0, 0.0, 1.0) == 0.0
+        assert clamp(3.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0.0, 1.0, -1.0)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,want", [(0, 4, 0), (1, 4, 1), (4, 4, 1),
+                                          (5, 4, 2), (8, 4, 2), (9, 4, 3)])
+    def test_values(self, a, b, want):
+        assert ceil_div(a, b) == want
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, 10 ** 3))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)

@@ -1,0 +1,124 @@
+"""Boundary word-length harmonization tests (repro.wlo.boundary)."""
+
+import pytest
+
+from repro.ir import OpKind
+from repro.slp import GroupSet, SIMDGroup, set_group_wl
+from repro.targets import get_target, vex
+from repro.wlo.boundary import harmonize_boundary_wls
+
+
+def _narrow_mul_groups(context, wl=16):
+    """Spec with the FIR mul pairs narrowed, everything else wide."""
+    program = context.program
+    spec = context.fresh_spec()
+    muls = [
+        o.opid for o in program.blocks["body"].ops if o.kind is OpKind.MUL
+    ]
+    groups = GroupSet("body")
+    groups.add(SIMDGroup(0, "body", OpKind.MUL, (muls[0], muls[1]), wl))
+    groups.add(SIMDGroup(1, "body", OpKind.MUL, (muls[2], muls[3]), wl))
+    for group in groups:
+        set_group_wl(spec, program, group.lanes, wl)
+    return spec, groups, muls
+
+
+class TestScalarMoves:
+    def test_adjacent_consumers_narrow(self, fir_context):
+        spec, groups, muls = _narrow_mul_groups(fir_context)
+        program = fir_context.program
+        adds = [
+            o for o in program.blocks["body"].ops if o.kind is OpKind.ADD
+        ]
+        grouped = {opid for group in groups for opid in group.lanes}
+        before = [spec.wl(a.opid) for a in adds]
+        assert set(before) == {32}
+        moves = harmonize_boundary_wls(
+            program, spec, fir_context.model, get_target("xentium"),
+            -15.0, grouped,
+        )
+        assert moves > 0
+        after = [spec.wl(a.opid) for a in adds]
+        assert all(wl <= 16 for wl in after)
+
+    def test_never_violates_satisfied_constraint(self, fir_context):
+        """Starting from a feasible spec, the pass keeps it feasible."""
+        spec, groups, _muls = _narrow_mul_groups(fir_context)
+        grouped = {opid for group in groups for opid in group.lanes}
+        start_level = fir_context.model.noise_db(spec)
+        for slack in (20.0, 5.0, 1.0):
+            token = spec.save()
+            constraint = start_level + slack
+            harmonize_boundary_wls(
+                fir_context.program, spec, fir_context.model,
+                get_target("xentium"), constraint, grouped,
+            )
+            assert not fir_context.model.violates(spec, constraint)
+            spec.revert(token)
+
+    def test_tight_budget_still_feasible(self, fir_context):
+        """With almost no slack, whatever moves are accepted must be
+        (nearly) noise-free — feasibility is preserved regardless."""
+        spec, groups, _muls = _narrow_mul_groups(fir_context)
+        grouped = {opid for group in groups for opid in group.lanes}
+        level = fir_context.model.noise_db(spec)
+        harmonize_boundary_wls(
+            fir_context.program, spec, fir_context.model,
+            get_target("xentium"), level + 0.05, grouped,
+        )
+        assert not fir_context.model.violates(spec, level + 0.05)
+
+    def test_no_narrower_neighbours_is_noop(self, fir_context):
+        spec = fir_context.fresh_spec()  # everything at 32
+        moves = harmonize_boundary_wls(
+            fir_context.program, spec, fir_context.model,
+            get_target("xentium"), -10.0, set(),
+        )
+        assert moves == 0
+        assert all(
+            spec.wl(root) == 32 for root in fir_context.slotmap.roots
+        )
+
+    def test_grouped_ops_untouched_by_scalar_pass(self, fir_context):
+        spec, groups, muls = _narrow_mul_groups(fir_context)
+        grouped = {opid for group in groups for opid in group.lanes}
+        harmonize_boundary_wls(
+            fir_context.program, spec, fir_context.model,
+            get_target("xentium"), -10.0, grouped,
+        )
+        for opid in grouped:
+            assert spec.wl(opid) == 16  # eq. (1) result preserved
+
+
+class TestGroupMoves:
+    def test_wide_pair_narrows_to_adjacent_quad(self, conv_context):
+        """A 16-bit pair consuming an 8-bit quad narrows to 8."""
+        from repro.wlo import wlo_slp_optimize
+
+        spec = conv_context.fresh_spec()
+        outcome = wlo_slp_optimize(
+            conv_context.program, spec, conv_context.model, vex(4), -10.0,
+        )
+        sizes_wls = {
+            (group.size, group.wl)
+            for groups in outcome.groups.values()
+            for group in groups
+        }
+        quads = {wl for size, wl in sizes_wls if size == 4}
+        pairs = {wl for size, wl in sizes_wls if size == 2}
+        if quads and pairs:
+            # Harmonization pulled consuming pairs down to the quad wl.
+            assert min(pairs) <= max(quads) * 2
+
+    def test_group_moves_keep_simd_legality(self, conv_context):
+        from repro.wlo import wlo_slp_optimize
+
+        target = vex(4)
+        spec = conv_context.fresh_spec()
+        outcome = wlo_slp_optimize(
+            conv_context.program, spec, conv_context.model, target, -10.0,
+        )
+        for groups in outcome.groups.values():
+            for group in groups:
+                assert group.wl in target.simd_widths
+                assert group.wl * group.size <= target.scalar_wl

@@ -1,0 +1,83 @@
+"""Greedy WLO baseline tests."""
+
+import pytest
+
+from repro.errors import WLOError
+from repro.targets import get_target
+from repro.wlo import max_minus_one, min_plus_one, tabu_wlo, wl_relative_cost
+
+
+class TestMaxMinusOne:
+    def test_feasible_result(self, fir_context):
+        target = get_target("xentium")
+        for constraint in (-15.0, -60.0):
+            spec = fir_context.fresh_spec()
+            result = max_minus_one(
+                fir_context.program, spec, fir_context.model, target,
+                constraint,
+            )
+            assert not fir_context.model.violates(spec, constraint)
+            assert result.moves >= 0
+
+    def test_improves_cost_when_possible(self, fir_context):
+        target = get_target("xentium")
+        spec = fir_context.fresh_spec()
+        start = wl_relative_cost(fir_context.program, spec, target)
+        result = max_minus_one(
+            fir_context.program, spec, fir_context.model, target, -15.0
+        )
+        assert result.cost < start
+
+    def test_infeasible_raises(self, fir_context):
+        spec = fir_context.fresh_spec()
+        with pytest.raises(WLOError, match="infeasible"):
+            max_minus_one(
+                fir_context.program, spec, fir_context.model,
+                get_target("xentium"), -400.0,
+            )
+
+
+class TestMinPlusOne:
+    def test_reaches_feasibility(self, fir_context):
+        target = get_target("xentium")
+        spec = fir_context.fresh_spec()
+        min_plus_one(
+            fir_context.program, spec, fir_context.model, target, -45.0
+        )
+        assert not fir_context.model.violates(spec, -45.0)
+
+    def test_loose_constraint_stays_minimal(self, fir_context):
+        """If the all-minimum spec already satisfies A, no widening."""
+        target = get_target("xentium")
+        spec = fir_context.fresh_spec()
+        result = min_plus_one(
+            fir_context.program, spec, fir_context.model, target, 20.0
+        )
+        assert result.moves == 0
+        assert all(
+            spec.wl(root) == min(target.supported_wls)
+            for root in fir_context.slotmap.roots
+        )
+
+    def test_infeasible_raises(self, fir_context):
+        spec = fir_context.fresh_spec()
+        with pytest.raises(WLOError):
+            min_plus_one(
+                fir_context.program, spec, fir_context.model,
+                get_target("xentium"), -400.0,
+            )
+
+
+class TestEngineComparison:
+    def test_tabu_at_least_matches_greedy(self, fir_context):
+        """Tabu explores more: it should never lose to max-1 by much."""
+        target = get_target("xentium")
+        spec_greedy = fir_context.fresh_spec()
+        greedy = max_minus_one(
+            fir_context.program, spec_greedy, fir_context.model, target, -45.0
+        )
+        spec_tabu = fir_context.fresh_spec()
+        tabu = tabu_wlo(
+            fir_context.program, spec_tabu, fir_context.model, target, -45.0
+        )
+        assert tabu.best_cost <= greedy.cost * 1.05
