@@ -1,0 +1,70 @@
+"""Micro-benchmark: serial vs parallel sweep engine wall-time.
+
+Runs the same reduced-size plan twice through fresh executors — once
+in-process (``jobs=1``), once over a process pool — verifies the
+results are bit-identical, and records both timings to
+``benchmarks/results/BENCH_sweep.json`` so future PRs have a perf
+trajectory for the engine.
+
+The serial pass runs first and warms the process-global analysis
+contexts; on fork-based platforms the pool workers inherit them, so
+the comparison isolates exactly the cell-evaluation fan-out (the part
+the engine parallelizes), not kernel analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.experiments import KernelConfig, SweepExecutor, SweepPlan
+
+from conftest import RESULTS_DIR
+
+BENCH_CONFIG = KernelConfig(
+    n_samples=256, analysis_samples=96, image_size=24, analysis_image_size=18
+)
+BENCH_GRID = (-15.0, -25.0, -45.0, -65.0)
+BENCH_KERNELS = ("fir", "iir")
+BENCH_TARGETS = ("xentium", "vex-1")
+# Always exercise the pool (≥2 workers) so the bit-identical check
+# covers the parallel path even on single-core runners.
+BENCH_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def test_bench_sweep_serial_vs_parallel(results_dir):
+    plan = SweepPlan.build(BENCH_CONFIG, BENCH_KERNELS, BENCH_TARGETS, BENCH_GRID)
+
+    started = time.perf_counter()
+    serial_cells, serial_stats = SweepExecutor(BENCH_CONFIG, jobs=1).run(plan)
+    serial_seconds = time.perf_counter() - started
+    assert serial_stats.computed == len(plan)
+
+    started = time.perf_counter()
+    parallel_cells, parallel_stats = SweepExecutor(
+        BENCH_CONFIG, jobs=BENCH_JOBS
+    ).run(plan)
+    parallel_seconds = time.perf_counter() - started
+    assert parallel_stats.computed == len(plan)
+
+    # The acceptance bar: fan-out must not change a single number.
+    assert parallel_cells == serial_cells
+
+    record = {
+        "benchmark": "sweep_serial_vs_parallel",
+        "n_cells": len(plan),
+        "kernels": list(BENCH_KERNELS),
+        "targets": list(BENCH_TARGETS),
+        "grid_db": list(BENCH_GRID),
+        "jobs": BENCH_JOBS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+    path = RESULTS_DIR / "BENCH_sweep.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{json.dumps(record, indent=2)}\n[written to {path}]")

@@ -18,7 +18,15 @@ setup(
     ),
     author="repro contributors",
     license="MIT",
+    # Keep in sync with [tool.ruff] target-version in pyproject.toml
+    # and the CI test matrix (.github/workflows/ci.yml).
     python_requires=">=3.10",
+    classifiers=[
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+    ],
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     package_data={"repro": ["py.typed"]},

@@ -8,7 +8,14 @@ Usage examples::
     repro fig4 --kernels fir --targets xentium vex-1
     repro fig6
     repro ablations
+    repro sweep --jobs 8
+    repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
     repro codegen --kernel fir --target xentium --constraint -25 --simd
+
+The sweep-backed commands (``sweep``, ``fig4``, ``table1``, ``fig6``,
+``ablations``) share the engine flags ``--jobs`` (process-pool width),
+``--cache-dir`` (persistent result cache, default
+``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -60,6 +67,22 @@ def build_parser() -> argparse.ArgumentParser:
     abl.add_argument("--target", default="xentium")
     _grid_and_out_args(abl, with_grid=False)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run any slice of the (kernel × target × constraint) grid",
+    )
+    sweep.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
+    sweep.add_argument("--targets", nargs="+",
+                       default=["xentium", "st240", "vex-4", "vex-1"])
+    sweep.add_argument(
+        "--only", nargs="+", default=None, metavar="KERNEL:TARGET",
+        help="restrict the grid to these kernel:target pairs",
+    )
+    sweep.add_argument("--wlo", default="tabu",
+                       choices=("tabu", "max-1", "min+1"),
+                       help="WLO-First engine (part of the cell key)")
+    _grid_and_out_args(sweep)
+
     val = sub.add_parser(
         "validate",
         help="tabulate analytical vs bit-accurate measured noise",
@@ -92,6 +115,17 @@ def _grid_and_out_args(
         )
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for CSV/JSON copies of the results")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for cell evaluation (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="sweep result cache directory "
+             "(default ~/.cache/repro/sweep or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache entirely")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,7 +152,6 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     from repro.experiments import (
         PAPER_CONSTRAINT_GRID,
-        ExperimentRunner,
         ablation_wlo_engines,
         ablation_wlo_slp_features,
         render_fig4,
@@ -129,9 +162,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         validation_table,
     )
 
-    runner = ExperimentRunner()
+    runner = _make_runner(args)
     grid = tuple(getattr(args, "grid", None) or PAPER_CONSTRAINT_GRID)
 
+    if args.command == "sweep":
+        return _cmd_sweep(args, runner, grid)
     if args.command == "fig4":
         print(render_fig4(runner, tuple(args.kernels), tuple(args.targets), grid))
         _export(args, fig4_table(runner, tuple(args.kernels),
@@ -161,6 +196,63 @@ def _dispatch(args: argparse.Namespace) -> int:
         _export(args, engines, "ablation_engines")
         return 0
     raise ReproError(f"unhandled command {args.command!r}")
+
+
+def _make_runner(args: argparse.Namespace):
+    """An engine-backed runner honouring --jobs/--cache-dir/--no-cache."""
+    from repro.experiments import ExperimentRunner, SweepCache
+    from repro.report import ProgressPrinter
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = SweepCache(getattr(args, "cache_dir", None))
+    return ExperimentRunner(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        progress=ProgressPrinter(),
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int:
+    """Run a grid slice through the engine and print the flat table."""
+    import time
+
+    from repro.experiments import SweepPlan
+    from repro.report import TextTable
+
+    only = tuple(args.only) if args.only else None
+    started = time.perf_counter()
+    stats = runner.prefetch(
+        tuple(args.kernels), tuple(args.targets), grid, wlo=args.wlo, only=only
+    )
+    elapsed = time.perf_counter() - started
+
+    plan = SweepPlan.build(
+        runner.config, args.kernels, args.targets, grid, args.wlo, only
+    )
+    table = TextTable(
+        headers=(
+            "kernel", "target", "constraint_db", "wlo",
+            "scalar_cycles", "wlo_first_speedup", "wlo_slp_speedup",
+            "float_speedup",
+        ),
+        title="Sweep — (kernel × target × constraint) cells",
+    )
+    for request in plan.requests:
+        cell = runner.cell(
+            request.kernel, request.target, request.constraint_db, request.wlo
+        )
+        table.add_row(
+            cell.kernel, cell.target, cell.constraint_db, request.wlo,
+            cell.scalar_cycles,
+            round(cell.wlo_first_speedup, 3),
+            round(cell.wlo_slp_speedup, 3),
+            round(cell.float_speedup, 3),
+        )
+    print(table.render())
+    print(f"\n{stats.summary()} in {elapsed:.1f}s")
+    _export(args, table, "sweep")
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

@@ -1,11 +1,52 @@
-"""Evaluation harness regenerating every table and figure of the paper."""
+"""Evaluation harness regenerating every table and figure of the paper.
+
+Architecture (one layer per module):
+
+* :mod:`~repro.experiments.engine` — the parallel sweep engine.  A
+  sweep is a :class:`SweepPlan` of frozen :class:`CellRequest` keys
+  (kernel, target, constraint, WLO engine); :func:`evaluate_cell` is a
+  pure, picklable function from request to :class:`Cell`; a
+  :class:`SweepExecutor` resolves plans through an in-memory memo, an
+  optional on-disk cache, and a ``ProcessPoolExecutor`` fan-out
+  (``jobs > 1``), streaming completed cells back with progress
+  callbacks.  Serial and parallel runs are bit-identical.
+* :mod:`~repro.experiments.cache` — the persistent result store: one
+  JSON file per cell, keyed by a content hash of the kernel config,
+  the cell key and the flow code version, so semantic code edits
+  invalidate exactly the stale cells and nothing else.  Corrupt files
+  degrade to cache misses.
+* :mod:`~repro.experiments.runner` — :class:`ExperimentRunner`, the
+  facade the figure/table modules consume (``context`` / ``cell`` /
+  ``sweep`` / ``prefetch``).
+* :mod:`~repro.experiments.fig4` / :mod:`~repro.experiments.table1` /
+  :mod:`~repro.experiments.fig6` / :mod:`~repro.experiments.ablations`
+  / :mod:`~repro.experiments.validation` — the paper artifacts, all
+  built on the same engine so every figure shares kernel builds,
+  analysis contexts and sweep cells.
+
+CLI entry point: ``repro sweep`` (see ``repro sweep --help``) runs any
+slice of the grid with ``--jobs N`` workers and a warm ``--cache-dir``;
+the figure commands accept the same flags.
+"""
 
 from repro.experiments.ablations import (
     ablation_quant_mode,
     ablation_wlo_engines,
     ablation_wlo_slp_features,
 )
-from repro.experiments.validation import validation_table
+from repro.experiments.cache import SweepCache, default_cache_dir
+from repro.experiments.engine import (
+    PAPER_CONSTRAINT_GRID,
+    PAPER_TARGETS,
+    Cell,
+    CellOutcome,
+    CellRequest,
+    KernelConfig,
+    SweepExecutor,
+    SweepPlan,
+    SweepStats,
+    evaluate_cell,
+)
 from repro.experiments.fig4 import fig4_panel, fig4_table, render_fig4
 from repro.experiments.fig6 import (
     FIG6_TARGETS,
@@ -13,25 +54,29 @@ from repro.experiments.fig6 import (
     fig6_table,
     render_fig6,
 )
-from repro.experiments.runner import (
-    PAPER_CONSTRAINT_GRID,
-    PAPER_TARGETS,
-    Cell,
-    ExperimentRunner,
-)
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.table1 import TABLE1_TARGETS, table1
+from repro.experiments.validation import validation_table
 
 __all__ = [
     "Cell",
+    "CellOutcome",
+    "CellRequest",
     "ExperimentRunner",
     "FIG6_TARGETS",
+    "KernelConfig",
     "PAPER_CONSTRAINT_GRID",
     "PAPER_TARGETS",
+    "SweepCache",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepStats",
     "TABLE1_TARGETS",
     "ablation_quant_mode",
     "ablation_wlo_engines",
     "ablation_wlo_slp_features",
-    "validation_table",
+    "default_cache_dir",
+    "evaluate_cell",
     "fig4_panel",
     "fig4_table",
     "fig6_series",
@@ -39,4 +84,5 @@ __all__ = [
     "render_fig4",
     "render_fig6",
     "table1",
+    "validation_table",
 ]

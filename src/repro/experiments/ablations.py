@@ -13,7 +13,6 @@
 from __future__ import annotations
 
 from repro.experiments.runner import ExperimentRunner
-from repro.flows.wlo_first import run_wlo_first
 from repro.flows.wlo_slp import run_wlo_slp
 from repro.report.tables import TextTable
 from repro.targets.registry import get_target
@@ -121,22 +120,34 @@ def ablation_wlo_engines(
     target_name: str = "xentium",
     grid: tuple[float, ...] = (-15.0, -45.0, -65.0),
 ) -> TextTable:
-    """Ablation C — Tabu vs greedy engines inside WLO-First."""
-    ctx = runner.context(kernel)
-    target = get_target(target_name)
+    """Ablation C — Tabu vs greedy engines inside WLO-First.
+
+    Runs through the sweep engine: each engine variant is a distinct
+    :class:`~repro.experiments.engine.CellRequest` (the ``wlo`` field
+    is part of the memo/cache key), so ablation cells share the memo
+    and disk cache with the baseline sweep without ever aliasing it.
+    """
+    from repro.experiments.engine import CellRequest, SweepPlan
+
     table = TextTable(
         headers=("constraint_db", "engine", "scalar_cycles", "simd_cycles",
                  "noise_db"),
         title=f"Ablation C — WLO-First engines on {kernel}/{target_name}",
     )
+    # One combined plan across all engines so --jobs parallelism spans
+    # the full 3×grid cell set instead of one engine at a time.
+    requests = [
+        CellRequest(kernel, target_name, float(constraint), engine)
+        for engine in ("tabu", "max-1", "min+1")
+        for constraint in grid
+    ]
+    runner.executor.run(SweepPlan(runner.config, requests))
     for constraint in grid:
         for engine in ("tabu", "max-1", "min+1"):
-            result = run_wlo_first(
-                ctx.program, target, constraint, ctx, wlo=engine
-            )
+            cell = runner.cell(kernel, target_name, constraint, wlo=engine)
             table.add_row(
                 constraint, engine,
-                result.scalar.total_cycles, result.simd.total_cycles,
-                round(result.scalar.noise_db or 0.0, 1),
+                cell.scalar_cycles, cell.wlo_first_simd_cycles,
+                round(cell.wlo_first_noise_db, 1),
             )
     return table

@@ -1,0 +1,106 @@
+"""On-disk sweep result cache.
+
+One JSON file per cell under a cache directory, named by a SHA-256
+content hash of everything that determines the cell's numbers: the
+kernel problem sizes (:class:`~repro.experiments.engine.KernelConfig`),
+the full cell key (kernel, target, constraint, WLO engine), and
+:func:`~repro.flows.common.flow_code_version` — a hash of every
+semantic source module.  Editing flows/WLO/SLP/accuracy/… code rolls
+the version and orphans stale entries; editing tests, docs, report
+renderers or the CLI leaves the cache warm, so re-rendering
+``fig4``/``table1``/``fig6`` after an unrelated edit is near-instant.
+
+The cache is forgiving by design: a corrupted, truncated or
+foreign-format file is treated as a miss and overwritten on the next
+store, never raised to the caller.  Writes go through a same-directory
+temp file + ``os.replace`` so concurrent workers can share a cache
+directory without torn reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.engine import Cell, CellRequest, KernelConfig
+from repro.flows.common import flow_code_version
+
+__all__ = ["SweepCache", "default_cache_dir"]
+
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweep``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "sweep"
+
+
+class SweepCache:
+    """Persistent (config, request) → :class:`Cell` store."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    # ------------------------------------------------------------------
+    def key(self, config: KernelConfig, request: CellRequest) -> str:
+        """Stable content hash of one cell's full identity."""
+        payload = {
+            "format": _FORMAT_VERSION,
+            "code_version": flow_code_version(),
+            "config": dataclasses.asdict(config),
+            "request": dataclasses.asdict(request),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+    def path(self, config: KernelConfig, request: CellRequest) -> Path:
+        return self.directory / f"{self.key(config, request)}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, config: KernelConfig, request: CellRequest) -> Cell | None:
+        """The cached cell, or ``None`` on miss *or any* decode failure."""
+        path = self.path(config, request)
+        try:
+            payload = json.loads(path.read_text())
+            cell = Cell(**payload["cell"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupted / truncated / foreign file: recompute
+        if payload.get("request") != dataclasses.asdict(request):
+            return None  # hash collision or hand-edited entry
+        if (
+            cell.kernel != request.kernel
+            or cell.target != request.target
+            or cell.constraint_db != request.constraint_db
+        ):
+            return None  # entry's cell belongs to a different key
+        return cell
+
+    def store(self, config: KernelConfig, request: CellRequest, cell: Cell) -> Path:
+        """Atomically persist one cell; returns its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path(config, request)
+        payload = {
+            "format": _FORMAT_VERSION,
+            "code_version": flow_code_version(),
+            "config": dataclasses.asdict(config),
+            "request": dataclasses.asdict(request),
+            "cell": dataclasses.asdict(cell),
+        }
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,399 @@
+"""Parallel, cache-persistent sweep engine.
+
+The paper's evaluation is a grid of (kernel, target, constraint) cells
+that Fig. 4, Table I, Fig. 6 and the ablations all re-derive.  This
+module splits the old monolithic runner into three composable parts:
+
+* :func:`evaluate_cell` — a *pure*, picklable function turning one
+  :class:`CellRequest` into a :class:`Cell`.  Workers memoize kernel
+  builds and :class:`~repro.flows.common.AnalysisContext` construction
+  in process-global tables, so a batch of cells sharing a kernel pays
+  for analysis once per process.
+* :class:`SweepPlan` — enumerates and deduplicates the cells of a
+  sweep (the job graph), ordered kernel-major so consecutive cells
+  reuse contexts.
+* :class:`SweepExecutor` — resolves a plan against an in-memory memo
+  and an optional on-disk :class:`~repro.experiments.cache.SweepCache`,
+  fanning misses out over ``concurrent.futures.ProcessPoolExecutor``
+  (serial in-process fallback for ``jobs <= 1``) and streaming
+  completed cells back with progress callbacks.
+
+Cell evaluation is deterministic (fixed analysis seeds), so parallel
+and serial execution produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import FlowError
+from repro.flows.common import AnalysisContext
+from repro.flows.floatflow import run_float
+from repro.flows.wlo_first import run_wlo_first
+from repro.flows.wlo_slp import run_wlo_slp
+from repro.kernels import conv2d, fir, iir
+from repro.targets.registry import get_target
+
+__all__ = [
+    "PAPER_CONSTRAINT_GRID",
+    "PAPER_TARGETS",
+    "Cell",
+    "CellOutcome",
+    "CellRequest",
+    "KernelConfig",
+    "SweepPlan",
+    "SweepExecutor",
+    "SweepStats",
+    "build_context",
+    "evaluate_cell",
+    "float_cycles",
+]
+
+#: Table I's constraint grid, reused for every figure by default.
+PAPER_CONSTRAINT_GRID: tuple[float, ...] = (
+    -5.0, -15.0, -25.0, -35.0, -45.0, -55.0, -65.0
+)
+
+#: Fig. 4's target set, in the paper's panel order.
+PAPER_TARGETS: tuple[str, ...] = ("xentium", "st240", "vex-4", "vex-1")
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Problem sizes shared by every cell of a sweep.
+
+    Frozen (hashable, picklable): it is both the worker-side memo key
+    for shared kernel/context builds and part of the on-disk cache key.
+    """
+
+    n_samples: int = 2048
+    analysis_samples: int = 160
+    image_size: int = 66
+    analysis_image_size: int = 18
+
+    def builders(self) -> dict[str, tuple[Callable, Callable]]:
+        """Per-kernel (benchmark build, analysis-twin build) factories."""
+        return {
+            "fir": (
+                lambda: fir(n_samples=self.n_samples),
+                lambda: fir(n_samples=self.analysis_samples),
+            ),
+            "iir": (
+                lambda: iir(n_samples=self.n_samples),
+                lambda: iir(n_samples=max(self.analysis_samples, 384)),
+            ),
+            "conv": (
+                lambda: conv2d(self.image_size, self.image_size),
+                lambda: conv2d(self.analysis_image_size, self.analysis_image_size),
+            ),
+        }
+
+    @property
+    def kernel_names(self) -> list[str]:
+        return ["fir", "iir", "conv"]
+
+
+@dataclass(frozen=True, order=True)
+class CellRequest:
+    """One sweep cell, fully keyed.
+
+    ``wlo`` names the WLO-First engine (``tabu`` is the paper's
+    baseline; ``max-1`` / ``min+1`` are the ablation engines).  It is
+    part of the key so ablation cells can never alias baseline cells.
+    """
+
+    kernel: str
+    target: str
+    constraint_db: float
+    wlo: str = "tabu"
+
+
+@dataclass
+class Cell:
+    """All numbers of one (kernel, target, constraint) sweep cell."""
+
+    kernel: str
+    target: str
+    constraint_db: float
+    scalar_cycles: int
+    wlo_first_simd_cycles: int
+    wlo_slp_cycles: int
+    float_cycles: int
+    wlo_first_groups: int
+    wlo_slp_groups: int
+    wlo_first_noise_db: float
+    wlo_slp_noise_db: float
+
+    @property
+    def wlo_first_speedup(self) -> float:
+        """SIMD WLO-First over scalar fixed-point (Fig. 4 series 1)."""
+        return self.scalar_cycles / self.wlo_first_simd_cycles
+
+    @property
+    def wlo_slp_speedup(self) -> float:
+        """SIMD WLO-SLP over scalar fixed-point (Fig. 4 series 2)."""
+        return self.scalar_cycles / self.wlo_slp_cycles
+
+    @property
+    def float_speedup(self) -> float:
+        """WLO-SLP over the floating-point original (Fig. 6)."""
+        return self.float_cycles / self.wlo_slp_cycles
+
+
+# ----------------------------------------------------------------------
+# Pure cell evaluation (runs in workers; all state is process-global).
+
+#: Per-process caches of the expensive shared work.  Keyed by the full
+#: (config, kernel) pair so differently-sized runners never collide.
+_CONTEXTS: dict[tuple[KernelConfig, str], AnalysisContext] = {}
+_FLOAT_CYCLES: dict[tuple[KernelConfig, str, str], int] = {}
+
+
+def build_context(config: KernelConfig, kernel: str) -> AnalysisContext:
+    """Build (or recall) the analysis context of one kernel."""
+    key = (config, kernel)
+    found = _CONTEXTS.get(key)
+    if found is None:
+        builders = config.builders()
+        if kernel not in builders:
+            raise FlowError(
+                f"unknown kernel {kernel!r}; have {config.kernel_names}"
+            )
+        build, build_twin = builders[kernel]
+        found = AnalysisContext.build(build(), build_twin())
+        _CONTEXTS[key] = found
+    return found
+
+
+def float_cycles(config: KernelConfig, kernel: str, target: str) -> int:
+    """Cycle count of the floating-point original (memoized)."""
+    key = (config, kernel, target)
+    found = _FLOAT_CYCLES.get(key)
+    if found is None:
+        ctx = build_context(config, kernel)
+        found = run_float(ctx.program, get_target(target)).total_cycles
+        _FLOAT_CYCLES[key] = found
+    return found
+
+
+def evaluate_cell(config: KernelConfig, request: CellRequest) -> Cell:
+    """Evaluate one sweep cell from scratch (deterministic, picklable).
+
+    This is the unit of work shipped to pool workers; everything it
+    touches beyond its two (frozen, picklable) arguments is memoized
+    process-locally, so repeated calls in one worker share kernel
+    builds and analysis contexts.
+    """
+    ctx = build_context(config, request.kernel)
+    target = get_target(request.target)
+    wlo_first = run_wlo_first(
+        ctx.program, target, request.constraint_db, ctx, wlo=request.wlo
+    )
+    wlo_slp = run_wlo_slp(ctx.program, target, request.constraint_db, ctx)
+    return Cell(
+        kernel=request.kernel,
+        target=request.target,
+        constraint_db=request.constraint_db,
+        scalar_cycles=wlo_first.scalar.total_cycles,
+        wlo_first_simd_cycles=wlo_first.simd.total_cycles,
+        wlo_slp_cycles=wlo_slp.total_cycles,
+        float_cycles=float_cycles(config, request.kernel, request.target),
+        wlo_first_groups=wlo_first.simd.n_groups,
+        wlo_slp_groups=wlo_slp.n_groups,
+        wlo_first_noise_db=wlo_first.simd.noise_db or 0.0,
+        wlo_slp_noise_db=wlo_slp.noise_db or 0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Job graph.
+
+
+@dataclass
+class SweepPlan:
+    """The deduplicated job graph of one sweep."""
+
+    config: KernelConfig
+    requests: list[CellRequest]
+
+    @staticmethod
+    def build(
+        config: KernelConfig,
+        kernels: Iterable[str],
+        targets: Iterable[str],
+        grid: Iterable[float] = PAPER_CONSTRAINT_GRID,
+        wlo: str = "tabu",
+        only: Iterable[str] | None = None,
+    ) -> "SweepPlan":
+        """Enumerate (kernel × target × constraint) cells.
+
+        ``only`` restricts the grid to ``kernel:target`` pairs (the CLI
+        ``--only fir:vex-1`` filter).  Duplicates are dropped and the
+        result is ordered kernel-major so consecutive cells share
+        analysis contexts — the shared-work deduplication that makes
+        the serial path and each pool worker build every kernel once.
+        """
+        pairs = _parse_only(only)
+        seen: set[CellRequest] = set()
+        requests: list[CellRequest] = []
+        for kernel in kernels:
+            for target in targets:
+                if pairs is not None and (kernel, target) not in pairs:
+                    continue
+                for constraint in grid:
+                    request = CellRequest(kernel, target, float(constraint), wlo)
+                    if request not in seen:
+                        seen.add(request)
+                        requests.append(request)
+        return SweepPlan(config, requests)
+
+    @property
+    def kernels(self) -> list[str]:
+        """Unique kernels of the plan, in first-appearance order."""
+        return list(dict.fromkeys(r.kernel for r in self.requests))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def _parse_only(only: Iterable[str] | None) -> set[tuple[str, str]] | None:
+    if only is None:
+        return None
+    pairs: set[tuple[str, str]] = set()
+    for item in only:
+        kernel, sep, target = item.partition(":")
+        if not sep or not kernel or not target:
+            raise FlowError(
+                f"bad --only filter {item!r}; expected KERNEL:TARGET"
+            )
+        pairs.add((kernel, target))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Executor.
+
+
+@dataclass
+class CellOutcome:
+    """One resolved cell, tagged with where its numbers came from."""
+
+    request: CellRequest
+    cell: Cell
+    #: ``"memo"`` (in-memory), ``"cache"`` (disk), or ``"computed"``.
+    source: str
+
+
+@dataclass
+class SweepStats:
+    """How a plan's cells were resolved."""
+
+    memo: int = 0
+    cache: int = 0
+    computed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.memo + self.cache + self.computed
+
+    def count(self, source: str) -> None:
+        setattr(self, source, getattr(self, source) + 1)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.computed} computed, "
+            f"{self.cache} from disk cache, {self.memo} memoized"
+        )
+
+
+class SweepExecutor:
+    """Resolves sweep plans through memo, disk cache and worker pool.
+
+    Layering per cell: the in-memory ``memo`` dict (shared with the
+    owning :class:`~repro.experiments.runner.ExperimentRunner`), then
+    the optional on-disk cache, then evaluation — in-process when
+    ``jobs <= 1`` or a single cell is missing, otherwise fanned out
+    over a process pool.  Completed cells stream back through
+    :meth:`run_iter` as they finish.
+    """
+
+    def __init__(
+        self,
+        config: KernelConfig,
+        *,
+        cache=None,
+        jobs: int = 1,
+        memo: dict[CellRequest, Cell] | None = None,
+        progress: Callable[[int, int, CellOutcome], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.memo = memo if memo is not None else {}
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, plan: SweepPlan) -> tuple[dict[CellRequest, Cell], SweepStats]:
+        """Resolve a whole plan; returns (cells, stats)."""
+        stats = SweepStats()
+        cells: dict[CellRequest, Cell] = {}
+        for outcome in self.run_iter(plan, stats):
+            cells[outcome.request] = outcome.cell
+        return cells, stats
+
+    def run_iter(
+        self, plan: SweepPlan, stats: SweepStats | None = None
+    ) -> Iterator[CellOutcome]:
+        """Stream the plan's cells back as they resolve."""
+        stats = stats if stats is not None else SweepStats()
+        total = len(plan.requests)
+        misses: list[CellRequest] = []
+
+        def emit(outcome: CellOutcome) -> CellOutcome:
+            stats.count(outcome.source)
+            if self.progress is not None:
+                self.progress(stats.total, total, outcome)
+            return outcome
+
+        for request in plan.requests:
+            found = self.memo.get(request)
+            if found is not None:
+                yield emit(CellOutcome(request, found, "memo"))
+                continue
+            if self.cache is not None:
+                cached = self.cache.load(plan.config, request)
+                if cached is not None:
+                    self.memo[request] = cached
+                    yield emit(CellOutcome(request, cached, "cache"))
+                    continue
+            misses.append(request)
+
+        for request, cell in self._evaluate(plan.config, misses):
+            self.memo[request] = cell
+            if self.cache is not None:
+                self.cache.store(plan.config, request, cell)
+            yield emit(CellOutcome(request, cell, "computed"))
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, config: KernelConfig, misses: list[CellRequest]
+    ) -> Iterator[tuple[CellRequest, Cell]]:
+        if not misses:
+            return
+        if self.jobs == 1 or len(misses) == 1:
+            for request in misses:
+                yield request, evaluate_cell(config, request)
+            return
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(evaluate_cell, config, request): request
+                for request in misses
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    request = pending.pop(future)
+                    yield request, future.result()

@@ -16,7 +16,6 @@ from __future__ import annotations
 from repro.experiments.runner import (
     PAPER_CONSTRAINT_GRID,
     PAPER_TARGETS,
-    Cell,
     ExperimentRunner,
 )
 from repro.report.ascii_plot import line_plot
@@ -46,6 +45,7 @@ def fig4_table(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> TextTable:
     """All panels as one flat table (kernel, target, constraint)."""
+    runner.prefetch(kernels, targets, grid)
     table = TextTable(
         headers=(
             "kernel", "target", "constraint_db",
@@ -74,6 +74,7 @@ def render_fig4(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> str:
     """Full text rendering: one ASCII plot per panel plus the table."""
+    runner.prefetch(kernels, targets, grid)
     sections = []
     for kernel in kernels:
         for target in targets:

@@ -24,6 +24,7 @@ def fig6_series(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> dict[str, list[tuple[float, float]]]:
     """Per-kernel float-to-WLO-SLP speedup series for one target."""
+    runner.prefetch(kernels, (target,), grid)
     return {
         kernel.upper(): [
             (cell.constraint_db, cell.float_speedup)
@@ -40,6 +41,7 @@ def fig6_table(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> TextTable:
     """All Fig. 6 points as one flat table."""
+    runner.prefetch(kernels, targets, grid)
     table = TextTable(
         headers=("target", "kernel", "constraint_db", "float_cycles",
                  "wlo_slp_cycles", "speedup"),
@@ -63,6 +65,7 @@ def render_fig6(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> str:
     """ASCII plots per target plus the flat table."""
+    runner.prefetch(kernels, targets, grid)
     sections = [
         line_plot(
             fig6_series(runner, target, kernels, grid),

@@ -1,163 +1,124 @@
-"""Experiment sweep runner.
+"""Experiment sweep runner — the friendly facade over the engine.
 
-Central cache-aware executor for the paper's evaluation: builds each
-kernel (full-size program + reduced analysis twin) once, builds each
-:class:`~repro.flows.common.AnalysisContext` once, and memoizes every
-(kernel, target, constraint) cell so Fig. 4, Table I, Fig. 6 and the
-ablations share work.
+:class:`ExperimentRunner` keeps the interface the figure/table modules
+and the benchmark harness use (``context``, ``cell``, ``sweep``), but
+is now a thin veneer over :mod:`repro.experiments.engine`: cells are
+keyed :class:`~repro.experiments.engine.CellRequest` objects (including
+the WLO engine name, so ablation runs can never alias baseline cells),
+resolved through a :class:`~repro.experiments.engine.SweepExecutor`
+that layers an in-memory memo, an optional persistent on-disk cache,
+and a process pool (``jobs > 1``) for bulk :meth:`prefetch` fan-out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
-from repro.errors import FlowError
+from repro.experiments.engine import (
+    PAPER_CONSTRAINT_GRID,
+    PAPER_TARGETS,
+    Cell,
+    CellRequest,
+    KernelConfig,
+    SweepExecutor,
+    SweepPlan,
+    SweepStats,
+    build_context,
+    float_cycles,
+)
 from repro.flows.common import AnalysisContext
-from repro.flows.floatflow import run_float
-from repro.flows.wlo_first import run_wlo_first
-from repro.flows.wlo_slp import run_wlo_slp
-from repro.kernels import conv2d, fir, iir
-from repro.targets.registry import get_target
 
 __all__ = ["PAPER_CONSTRAINT_GRID", "PAPER_TARGETS", "Cell", "ExperimentRunner"]
-
-#: Table I's constraint grid, reused for every figure by default.
-PAPER_CONSTRAINT_GRID: tuple[float, ...] = (
-    -5.0, -15.0, -25.0, -35.0, -45.0, -55.0, -65.0
-)
-
-#: Fig. 4's target set, in the paper's panel order.
-PAPER_TARGETS: tuple[str, ...] = ("xentium", "st240", "vex-4", "vex-1")
-
-
-@dataclass
-class Cell:
-    """All numbers of one (kernel, target, constraint) sweep cell."""
-
-    kernel: str
-    target: str
-    constraint_db: float
-    scalar_cycles: int
-    wlo_first_simd_cycles: int
-    wlo_slp_cycles: int
-    float_cycles: int
-    wlo_first_groups: int
-    wlo_slp_groups: int
-    wlo_first_noise_db: float
-    wlo_slp_noise_db: float
-
-    @property
-    def wlo_first_speedup(self) -> float:
-        """SIMD WLO-First over scalar fixed-point (Fig. 4 series 1)."""
-        return self.scalar_cycles / self.wlo_first_simd_cycles
-
-    @property
-    def wlo_slp_speedup(self) -> float:
-        """SIMD WLO-SLP over scalar fixed-point (Fig. 4 series 2)."""
-        return self.scalar_cycles / self.wlo_slp_cycles
-
-    @property
-    def float_speedup(self) -> float:
-        """WLO-SLP over the floating-point original (Fig. 6)."""
-        return self.float_cycles / self.wlo_slp_cycles
-
-
-def _default_kernels(
-    n_samples: int, analysis_samples: int, image: int, analysis_image: int
-) -> dict[str, tuple[Callable, Callable]]:
-    return {
-        "fir": (
-            lambda: fir(n_samples=n_samples),
-            lambda: fir(n_samples=analysis_samples),
-        ),
-        "iir": (
-            lambda: iir(n_samples=n_samples),
-            lambda: iir(n_samples=max(analysis_samples, 384)),
-        ),
-        "conv": (
-            lambda: conv2d(image, image),
-            lambda: conv2d(analysis_image, analysis_image),
-        ),
-    }
 
 
 @dataclass
 class ExperimentRunner:
-    """Builds kernels and runs sweep cells with memoization."""
+    """Builds kernels and runs sweep cells with memoization.
+
+    ``jobs``/``cache``/``progress`` configure the underlying executor:
+    ``jobs > 1`` makes :meth:`prefetch` fan cells out over a process
+    pool, ``cache`` (a :class:`~repro.experiments.cache.SweepCache`)
+    persists results across processes and sessions.
+    """
 
     n_samples: int = 2048
     analysis_samples: int = 160
     image_size: int = 66
     analysis_image_size: int = 18
-    _contexts: dict[str, AnalysisContext] = field(default_factory=dict)
-    _cells: dict[tuple[str, str, float], Cell] = field(default_factory=dict)
-    _float_cycles: dict[tuple[str, str], int] = field(default_factory=dict)
+    jobs: int = 1
+    cache: object | None = None
+    progress: object | None = None
+    _cells: dict[CellRequest, Cell] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._kernels = _default_kernels(
-            self.n_samples, self.analysis_samples,
-            self.image_size, self.analysis_image_size,
+        self.config = KernelConfig(
+            n_samples=self.n_samples,
+            analysis_samples=self.analysis_samples,
+            image_size=self.image_size,
+            analysis_image_size=self.analysis_image_size,
+        )
+        self.executor = SweepExecutor(
+            self.config,
+            cache=self.cache,
+            jobs=self.jobs,
+            memo=self._cells,
+            progress=self.progress,
         )
 
     # ------------------------------------------------------------------
     @property
     def kernel_names(self) -> list[str]:
-        return list(self._kernels)
+        return self.config.kernel_names
 
     def context(self, kernel: str) -> AnalysisContext:
-        """The (cached) analysis context of a kernel."""
-        found = self._contexts.get(kernel)
-        if found is None:
-            if kernel not in self._kernels:
-                raise FlowError(
-                    f"unknown kernel {kernel!r}; have {self.kernel_names}"
-                )
-            build, build_twin = self._kernels[kernel]
-            found = AnalysisContext.build(build(), build_twin())
-            self._contexts[kernel] = found
-        return found
+        """The (process-wide cached) analysis context of a kernel."""
+        return build_context(self.config, kernel)
 
     def float_cycles(self, kernel: str, target_name: str) -> int:
-        key = (kernel, target_name)
-        found = self._float_cycles.get(key)
-        if found is None:
-            ctx = self.context(kernel)
-            found = run_float(ctx.program, get_target(target_name)).total_cycles
-            self._float_cycles[key] = found
-        return found
+        return float_cycles(self.config, kernel, target_name)
 
-    def cell(self, kernel: str, target_name: str, constraint_db: float) -> Cell:
+    def cell(
+        self,
+        kernel: str,
+        target_name: str,
+        constraint_db: float,
+        wlo: str = "tabu",
+    ) -> Cell:
         """Run (or recall) one sweep cell."""
-        key = (kernel, target_name, constraint_db)
-        found = self._cells.get(key)
+        request = CellRequest(kernel, target_name, float(constraint_db), wlo)
+        found = self._cells.get(request)
         if found is not None:
             return found
-        ctx = self.context(kernel)
-        target = get_target(target_name)
-        wlo_first = run_wlo_first(ctx.program, target, constraint_db, ctx)
-        wlo_slp = run_wlo_slp(ctx.program, target, constraint_db, ctx)
-        cell = Cell(
-            kernel=kernel,
-            target=target_name,
-            constraint_db=constraint_db,
-            scalar_cycles=wlo_first.scalar.total_cycles,
-            wlo_first_simd_cycles=wlo_first.simd.total_cycles,
-            wlo_slp_cycles=wlo_slp.total_cycles,
-            float_cycles=self.float_cycles(kernel, target_name),
-            wlo_first_groups=wlo_first.simd.n_groups,
-            wlo_slp_groups=wlo_slp.n_groups,
-            wlo_first_noise_db=wlo_first.simd.noise_db or 0.0,
-            wlo_slp_noise_db=wlo_slp.noise_db or 0.0,
-        )
-        self._cells[key] = cell
-        return cell
+        plan = SweepPlan(self.config, [request])
+        cells, _ = self.executor.run(plan)
+        return cells[request]
 
     def sweep(
         self,
         kernel: str,
         target_name: str,
         grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+        wlo: str = "tabu",
     ) -> list[Cell]:
         """All cells of one (kernel, target) panel."""
-        return [self.cell(kernel, target_name, a) for a in grid]
+        self.prefetch((kernel,), (target_name,), grid, wlo)
+        return [self.cell(kernel, target_name, a, wlo) for a in grid]
+
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        kernels: tuple[str, ...],
+        targets: tuple[str, ...],
+        grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+        wlo: str = "tabu",
+        only: tuple[str, ...] | None = None,
+    ) -> SweepStats:
+        """Resolve a whole grid through the executor in one batch.
+
+        This is where ``jobs > 1`` pays off: every missing cell of the
+        grid is evaluated concurrently, then the figure/table builders
+        read them back from the memo.  Returns the resolution stats.
+        """
+        plan = SweepPlan.build(self.config, kernels, targets, grid, wlo, only)
+        _, stats = self.executor.run(plan)
+        return stats

@@ -25,6 +25,7 @@ def table1(
     kernel: str = "fir",
 ) -> TextTable:
     """Build Table I (cycle counts of SIMD versions for FIR)."""
+    runner.prefetch((kernel,), targets, grid)
     table = TextTable(
         headers=("target", "flow") + tuple(f"{a:g} dB" for a in grid),
         title="Table I — number of cycles of SIMD versions for FIR",

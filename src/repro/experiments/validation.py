@@ -30,7 +30,12 @@ def validation_table(
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     n_stimuli: int = 2,
 ) -> TextTable:
-    """Analytical vs measured output noise across uniform specs."""
+    """Analytical vs measured output noise across uniform specs.
+
+    Uses the engine's process-wide analysis contexts (via
+    ``runner.context``), so a validation pass after a figure sweep
+    costs only the bit-accurate simulations.
+    """
     table = TextTable(
         headers=("kernel", "word_length", "analytical_db", "measured_db",
                  "difference_db"),

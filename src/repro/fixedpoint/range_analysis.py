@@ -18,7 +18,6 @@ their body to a fixpoint of the array/variable summaries.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Mapping
 

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
 from typing import Any
 
 from repro.accuracy.analytical import AccuracyModel
@@ -14,9 +17,48 @@ from repro.fixedpoint.spec import FixedPointSpec, SlotMap
 from repro.ir.program import Program
 from repro.scheduler.cycles import CycleReport
 from repro.slp.groups import GroupSet
-from repro.utils import power_to_db
 
-__all__ = ["AnalysisContext", "FlowResult", "speedup"]
+__all__ = ["AnalysisContext", "FlowResult", "flow_code_version", "speedup"]
+
+def _is_semantic(relative: str) -> bool:
+    """Whether a package-relative source path can change cell numbers.
+
+    Pure presentation (``report/``), the CLI front end and the
+    experiment orchestration layer are excluded — with one exception:
+    ``experiments/engine.py`` holds the kernel builders and flow
+    wiring of :func:`evaluate_cell`, so it is semantic.  Everything
+    else — IR, kernels, flows, WLO, SLP, fixed-point, accuracy,
+    scheduler, codegen, targets — participates.
+    """
+    top = relative.split("/", 1)[0]
+    if top in ("report", "cli.py"):
+        return False
+    if top == "experiments":
+        return relative == "experiments/engine.py"
+    return True
+
+
+@lru_cache(maxsize=1)
+def flow_code_version() -> str:
+    """Content hash of every source file that can change flow numbers.
+
+    The on-disk sweep cache (:mod:`repro.experiments.cache`) keys each
+    cell on this hash, so editing any semantic module (flows, WLO, SLP,
+    accuracy, scheduler, codegen, kernels, targets, IR, fixed-point)
+    invalidates stale results, while edits to tests, docs, the report
+    renderers, the CLI, or the experiment harness leave the cache warm.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root).as_posix()
+        if not _is_semantic(relative):
+            continue
+        digest.update(relative.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
 
 
 @dataclass

@@ -7,7 +7,6 @@ scale-offset), and small enough for quick-start material.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import IRError
 from repro.ir.builder import ProgramBuilder

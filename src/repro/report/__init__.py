@@ -1,6 +1,7 @@
 """Text rendering of experiment results (tables, ASCII figures)."""
 
 from repro.report.ascii_plot import line_plot
+from repro.report.progress import ProgressPrinter
 from repro.report.tables import TextTable
 
-__all__ = ["TextTable", "line_plot"]
+__all__ = ["ProgressPrinter", "TextTable", "line_plot"]

@@ -1,0 +1,34 @@
+"""Line-oriented progress reporting for long sweeps.
+
+The sweep executor calls back with (done, total, outcome); this
+printer renders one status line per resolved cell, e.g.::
+
+    [ 12/84] computed fir:vex-1 @ -25 dB (wlo-slp 1742 cycles)
+
+Writes to stderr by default so table/figure output on stdout stays
+machine-readable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+__all__ = ["ProgressPrinter"]
+
+
+class ProgressPrinter:
+    """Callable matching the executor's ``progress`` hook."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, done: int, total: int, outcome) -> None:
+        request = outcome.request
+        width = len(str(total))
+        line = (
+            f"[{done:>{width}}/{total}] {outcome.source:<8} "
+            f"{request.kernel}:{request.target} @ {request.constraint_db:g} dB "
+            f"(wlo-slp {outcome.cell.wlo_slp_cycles} cycles)"
+        )
+        print(line, file=self.stream, flush=True)

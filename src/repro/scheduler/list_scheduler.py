@@ -16,7 +16,7 @@ use at ``-O3`` for straight-line DSP blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SchedulerError
 from repro.scheduler.machineop import MachineBlock, MachineOp

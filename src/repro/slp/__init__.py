@@ -41,5 +41,6 @@ __all__ = [
     "merge_items",
     "select_groups",
     "set_group_wl",
+    "structural_conflict",
     "slp_round_accuracy_aware",
 ]

@@ -16,7 +16,6 @@ The joint algorithm's inner engine.  Differences from plain SLP:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.accuracy.analytical import AccuracyModel
 from repro.fixedpoint.spec import FixedPointSpec

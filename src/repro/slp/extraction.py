@@ -19,13 +19,13 @@ Two front ends use this driver:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import SLPError
 from repro.fixedpoint.spec import FixedPointSpec
 from repro.ir.block import BasicBlock
-from repro.ir.deps import DependenceGraph, build_dependence_graph
+from repro.ir.deps import build_dependence_graph
 from repro.ir.optypes import OpKind
 from repro.ir.program import Program
 from repro.slp.benefit import BenefitEstimator

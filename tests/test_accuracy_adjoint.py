@@ -6,7 +6,7 @@ import pytest
 from repro.accuracy import extract_gains
 from repro.errors import AccuracyError
 from repro.fixedpoint import SlotMap
-from repro.ir import Interpreter, OpKind, ProgramBuilder, loop_index
+from repro.ir import OpKind, ProgramBuilder
 
 
 def _linear_chain():

@@ -1,7 +1,5 @@
 """Float lowering tests: hardware FPU vs soft-float emulation."""
 
-import pytest
-
 from repro.codegen import lower_float_block, lower_float_program
 from repro.scheduler import program_cycles, schedule_block
 from repro.targets import get_target

@@ -1,7 +1,5 @@
 """Scalar lowering tests: exactly the shifts the formats imply."""
 
-import pytest
-
 from repro.codegen import lower_scalar_block, lower_scalar_program
 from repro.fixedpoint import FixedPointSpec, SlotMap
 from repro.ir import OpKind

@@ -1,7 +1,5 @@
 """SIMD lowering tests: where pack/unpack and scaling costs appear."""
 
-import pytest
-
 from repro.codegen import (
     collect_vector_vars,
     lower_simd_block,

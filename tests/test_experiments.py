@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import (
-    Cell,
     ExperimentRunner,
     ablation_wlo_engines,
     ablation_wlo_slp_features,

@@ -1,0 +1,203 @@
+"""Sweep engine tests: plan, cache, parallel executor, CLI.
+
+Covers the contracts the CI pipeline relies on: cache hit/miss
+behaviour, bit-identical parallel vs serial results, corrupted cache
+recovery, and the WLO-engine keying fix (ablation cells must never
+alias baseline cells).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import FlowError
+from repro.experiments import (
+    Cell,
+    CellRequest,
+    ExperimentRunner,
+    KernelConfig,
+    SweepCache,
+    SweepExecutor,
+    SweepPlan,
+    evaluate_cell,
+)
+
+SMALL = dict(
+    n_samples=96, analysis_samples=96, image_size=18, analysis_image_size=18
+)
+GRID = (-15.0, -45.0)
+
+
+@pytest.fixture(scope="module")
+def config() -> KernelConfig:
+    return KernelConfig(**SMALL)
+
+
+@pytest.fixture(scope="module")
+def reference_cells(config) -> dict[CellRequest, Cell]:
+    """Serial, cache-less ground truth for fir on two targets."""
+    executor = SweepExecutor(config, jobs=1)
+    plan = SweepPlan.build(config, ("fir",), ("xentium", "vex-1"), GRID)
+    cells, stats = executor.run(plan)
+    assert stats.computed == len(plan)
+    return cells
+
+
+class TestPlan:
+    def test_enumeration_and_dedup(self, config):
+        plan = SweepPlan.build(
+            config, ("fir", "fir"), ("xentium",), (-15.0, -15.0, -45.0)
+        )
+        assert len(plan) == 2
+        assert plan.kernels == ["fir"]
+
+    def test_kernel_major_order(self, config):
+        plan = SweepPlan.build(
+            config, ("fir", "iir"), ("xentium", "vex-1"), GRID
+        )
+        kernels = [r.kernel for r in plan.requests]
+        assert kernels == sorted(kernels, key=("fir", "iir").index)
+
+    def test_only_filter(self, config):
+        plan = SweepPlan.build(
+            config, ("fir", "iir"), ("xentium", "vex-1"), GRID,
+            only=("fir:vex-1",),
+        )
+        assert {(r.kernel, r.target) for r in plan.requests} == {("fir", "vex-1")}
+
+    def test_bad_only_filter(self, config):
+        with pytest.raises(FlowError, match="KERNEL:TARGET"):
+            SweepPlan.build(config, ("fir",), ("xentium",), GRID, only=("fir",))
+
+    def test_requests_are_picklable(self, config):
+        plan = SweepPlan.build(config, ("fir",), ("xentium",), GRID)
+        for request in plan.requests:
+            restored = pickle.loads(pickle.dumps((config, request)))
+            assert restored == (config, request)
+
+
+class TestCache:
+    def test_miss_then_hit(self, config, reference_cells, tmp_path):
+        cache = SweepCache(tmp_path)
+        request = next(iter(reference_cells))
+        assert cache.load(config, request) is None
+        cache.store(config, request, reference_cells[request])
+        assert cache.load(config, request) == reference_cells[request]
+        assert len(cache) == 1
+
+    def test_executor_cold_then_warm(self, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        plan = SweepPlan.build(config, ("fir",), ("xentium",), GRID)
+        _, cold = SweepExecutor(config, cache=cache, jobs=1).run(plan)
+        assert (cold.computed, cold.cache) == (len(plan), 0)
+        # Fresh executor, fresh memo: everything must come from disk.
+        warm_cells, warm = SweepExecutor(config, cache=cache, jobs=1).run(plan)
+        assert (warm.computed, warm.cache) == (0, len(plan))
+        # And a second resolve through the same executor hits the memo.
+        _, memo = SweepExecutor(config, cache=cache, jobs=1, memo=warm_cells).run(plan)
+        assert (memo.computed, memo.cache, memo.memo) == (0, 0, len(plan))
+
+    def test_corrupted_file_recovers(self, config, reference_cells, tmp_path):
+        cache = SweepCache(tmp_path)
+        request = next(iter(reference_cells))
+        path = cache.store(config, request, reference_cells[request])
+        path.write_text("{ not json !!")
+        assert cache.load(config, request) is None  # tolerated, not raised
+        _, stats = SweepExecutor(config, cache=cache, jobs=1).run(
+            SweepPlan(config, [request])
+        )
+        assert stats.computed == 1  # recomputed through the corruption
+        assert cache.load(config, request) == reference_cells[request]  # repaired
+
+    def test_truncated_and_mismatched_entries_miss(
+        self, config, reference_cells, tmp_path
+    ):
+        cache = SweepCache(tmp_path)
+        request = next(iter(reference_cells))
+        path = cache.store(config, request, reference_cells[request])
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(config, request) is None
+        # A structurally valid file whose cell belongs to another key.
+        other = CellRequest("fir", "vex-1", -45.0)
+        cache.store(config, request, reference_cells[other])
+        assert cache.load(config, request) is None
+
+    def test_key_rolls_with_code_version(self, config, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path)
+        request = CellRequest("fir", "xentium", -15.0)
+        before = cache.key(config, request)
+        monkeypatch.setattr(
+            "repro.experiments.cache.flow_code_version", lambda: "0" * 16
+        )
+        assert cache.key(config, request) != before
+
+    def test_key_depends_on_wlo_engine(self, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        tabu = cache.key(config, CellRequest("fir", "xentium", -15.0, "tabu"))
+        greedy = cache.key(config, CellRequest("fir", "xentium", -15.0, "max-1"))
+        assert tabu != greedy
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, config, reference_cells):
+        plan = SweepPlan.build(config, ("fir",), ("xentium", "vex-1"), GRID)
+        cells, stats = SweepExecutor(config, jobs=2).run(plan)
+        assert stats.computed == len(plan)
+        assert cells == reference_cells
+
+    def test_parallel_streams_progress(self, config):
+        seen = []
+        executor = SweepExecutor(
+            config, jobs=2,
+            progress=lambda done, total, outcome: seen.append((done, total)),
+        )
+        plan = SweepPlan.build(config, ("fir",), ("xentium",), GRID)
+        executor.run(plan)
+        assert seen == [(1, len(plan)), (2, len(plan))]
+
+    def test_parallel_fills_shared_cache(self, config, reference_cells, tmp_path):
+        cache = SweepCache(tmp_path)
+        plan = SweepPlan.build(config, ("fir",), ("xentium", "vex-1"), GRID)
+        SweepExecutor(config, cache=cache, jobs=2).run(plan)
+        assert len(cache) == len(plan)
+        # Serial warm read-back returns identical cells.
+        cells, stats = SweepExecutor(config, cache=cache, jobs=1).run(plan)
+        assert stats.computed == 0
+        assert cells == reference_cells
+
+
+class TestRunnerKeying:
+    def test_wlo_engine_is_part_of_the_key(self):
+        runner = ExperimentRunner(**SMALL)
+        baseline = runner.cell("fir", "xentium", -15.0)
+        ablation = runner.cell("fir", "xentium", -15.0, wlo="max-1")
+        assert baseline is not ablation  # distinct memo entries
+        assert runner.cell("fir", "xentium", -15.0) is baseline  # no aliasing
+        assert runner.cell("fir", "xentium", -15.0, wlo="max-1") is ablation
+
+    def test_evaluate_cell_is_pure(self, config, reference_cells):
+        request = next(iter(reference_cells))
+        assert evaluate_cell(config, request) == reference_cells[request]
+
+
+class TestSweepCLI:
+    def test_sweep_cold_then_warm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["sweep", "--only", "fir:xentium", "--grid", "-15",
+                "--jobs", "1", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 computed" in out and "fir" in out
+        assert main(argv) == 0  # warm: zero re-evaluations
+        out = capsys.readouterr().out
+        assert "0 computed" in out and "1 from disk cache" in out
+
+    def test_sweep_no_cache_writes_nothing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("*.json")) == []

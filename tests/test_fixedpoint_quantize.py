@@ -1,7 +1,5 @@
 """Property and unit tests for integer quantization primitives."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

@@ -1,6 +1,5 @@
 """Slot map and fixed-point specification tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import FixedPointError

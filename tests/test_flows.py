@@ -6,7 +6,6 @@ the float reference, not merely according to the analytical model that
 guided the optimization.
 """
 
-import numpy as np
 import pytest
 
 from repro.accuracy import SimulationAccuracyEvaluator

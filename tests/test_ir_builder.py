@@ -1,6 +1,5 @@
 """Tests for the IR builder and structural validation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import IRError, ValidationError

@@ -1,12 +1,9 @@
 """Dependence analysis tests."""
 
-import pytest
-
 from repro.ir import (
     OpKind,
     ProgramBuilder,
     build_dependence_graph,
-    loop_index,
     may_alias,
 )
 from repro.ir.deps import is_loop_invariant_load

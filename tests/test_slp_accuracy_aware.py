@@ -10,7 +10,7 @@ from repro.slp import (
     slp_round_accuracy_aware,
 )
 from repro.slp.extraction import SelectionStats
-from repro.targets import get_target, vex
+from repro.targets import get_target
 
 
 @pytest.fixture()

@@ -1,8 +1,5 @@
 """SLP candidate extraction tests."""
 
-import pytest
-
-from repro.fixedpoint import SlotMap
 from repro.ir import OpKind, build_dependence_graph
 from repro.slp import (
     Candidate,

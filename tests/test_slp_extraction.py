@@ -4,14 +4,13 @@ import pytest
 
 from repro.errors import SLPError
 from repro.fixedpoint import FixedPointSpec, SlotMap
-from repro.ir import OpKind, build_dependence_graph
+from repro.ir import OpKind
 from repro.slp import (
     Candidate,
     GroupSet,
     SelectionStats,
     build_group_set,
     extract_groups_decoupled,
-    initial_items,
     merge_items,
 )
 from repro.targets import get_target, vex

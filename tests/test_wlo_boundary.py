@@ -1,7 +1,5 @@
 """Boundary word-length harmonization tests (repro.wlo.boundary)."""
 
-import pytest
-
 from repro.ir import OpKind
 from repro.slp import GroupSet, SIMDGroup, set_group_wl
 from repro.targets import get_target, vex

@@ -1,12 +1,8 @@
 """SCALOPTIM (paper Fig. 1b) tests."""
 
-import pytest
-
-from repro.fixedpoint import SlotMap
 from repro.ir import OpKind, ProgramBuilder, loop_index
 from repro.slp import GroupSet, SIMDGroup
 from repro.wlo import lane_shifts, optimize_scalings, superword_reuses
-from repro.wlo.scaling import ScalingStats
 
 
 def _mismatch_setup():
