@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: joint word-length optimization + SLP on a dot product.
 
-Builds a small unrolled dot-product kernel, runs the paper's WLO-SLP
-flow against the XENTIUM model at a -30 dB output-noise budget, and
-shows everything the flow produced: the fixed-point specification, the
-SIMD groups, the cycle count, and generated C.
+Builds a small unrolled dot-product kernel, resolves the paper's
+WLO-SLP flow by name through the flow registry, runs it against the
+XENTIUM model at a -30 dB output-noise budget, and shows everything
+the flow produced: the fixed-point specification, the SIMD groups, the
+cycle count, and generated C.  (``available_flows()`` lists every
+registered flow — the CLI equivalent is ``repro flows``.)
 
 Run:  python examples/quickstart.py
 """
 
 from repro.codegen import emit_fixed_point_c
-from repro.flows import AnalysisContext, run_float, run_wlo_slp, speedup
+from repro.flows import speedup
 from repro.kernels import dot_product
+from repro.pipeline import available_flows, run_flow
 from repro.targets import get_target
 
 
@@ -22,9 +25,9 @@ def main() -> None:
 
     target = get_target("xentium")
     print(f"\n=== Target: {target.describe()}")
+    print(f"\nRegistered flows: {', '.join(available_flows())}")
 
-    context = AnalysisContext.build(program)
-    result = run_wlo_slp(program, target, accuracy_db=-30.0, context=context)
+    result = run_flow("wlo-slp", program, target, -30.0)
 
     print(f"\n=== WLO-SLP result: {result.summary()}")
     print("\nFixed-point specification (per tie group):")
@@ -40,7 +43,7 @@ def main() -> None:
                 f"{list(group.lanes)} @ {group.wl}-bit"
             )
 
-    float_result = run_float(program, target)
+    float_result = run_flow("float", program, target)
     print(
         f"\nCycles: float {float_result.total_cycles} -> fixed+SIMD "
         f"{result.total_cycles} "

@@ -3,19 +3,25 @@
 Usage examples::
 
     repro targets
+    repro flows
     repro run --kernel fir --target xentium --constraint -25
+    repro run --kernel fir --flow wlo-first --wlo min+1 --timings
     repro table1 --out results/
     repro fig4 --kernels fir --targets xentium vex-1
     repro fig6
     repro ablations
     repro sweep --jobs 8
     repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
+    repro sweep --flow wlo-slp-lite --wlo max-1
     repro codegen --kernel fir --target xentium --constraint -25 --simd
 
-The sweep-backed commands (``sweep``, ``fig4``, ``table1``, ``fig6``,
-``ablations``) share the engine flags ``--jobs`` (process-pool width),
-``--cache-dir`` (persistent result cache, default
-``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and ``--no-cache``.
+Flows and WLO engines are resolved by name through their registries
+(:mod:`repro.pipeline`, :mod:`repro.wlo.registry`); ``repro flows``
+lists both.  The sweep-backed commands (``sweep``, ``fig4``,
+``table1``, ``fig6``, ``ablations``) share the engine flags ``--jobs``
+(process-pool width), ``--cache-dir`` (persistent result cache,
+default ``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and
+``--no-cache``.
 """
 
 from __future__ import annotations
@@ -41,13 +47,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("targets", help="list available processor models")
 
+    sub.add_parser(
+        "flows", help="list registered flows (pass pipelines) and WLO engines"
+    )
+
     run = sub.add_parser("run", help="run one flow on one kernel")
     _kernel_target_args(run)
     run.add_argument("--constraint", type=float, default=-25.0,
                      help="accuracy constraint in dB (default -25)")
     run.add_argument(
-        "--flow", choices=("wlo-slp", "wlo-first", "float"),
-        default="wlo-slp",
+        "--flow", default="wlo-slp", metavar="FLOW",
+        help="registered flow name (see `repro flows`; default wlo-slp)",
+    )
+    run.add_argument(
+        "--wlo", default=None, metavar="ENGINE",
+        help="WLO engine for flows with a 'wlo' parameter "
+             "(see `repro flows`; default: the flow's declared engine)",
+    )
+    run.add_argument(
+        "--timings", action="store_true",
+        help="print the per-pass wall-time report after the run",
     )
 
     fig4 = sub.add_parser("fig4", help="regenerate paper Fig. 4")
@@ -78,9 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="+", default=None, metavar="KERNEL:TARGET",
         help="restrict the grid to these kernel:target pairs",
     )
-    sweep.add_argument("--wlo", default="tabu",
-                       choices=("tabu", "max-1", "min+1"),
-                       help="WLO-First engine (part of the cell key)")
+    sweep.add_argument("--wlo", default="tabu", metavar="ENGINE",
+                       help="WLO-First engine, from the WLO registry "
+                            "(part of the cell key; default tabu)")
+    sweep.add_argument("--flow", default="wlo-slp", metavar="FLOW",
+                       help="joint flow variant evaluated per cell, from "
+                            "the flow registry (part of the cell key; "
+                            "default wlo-slp)")
     _grid_and_out_args(sweep)
 
     val = sub.add_parser(
@@ -143,6 +166,18 @@ def _dispatch(args: argparse.Namespace) -> int:
 
         for name in available_targets():
             print(get_target(name).describe())
+        return 0
+
+    if args.command == "flows":
+        from repro.pipeline import available_flows, get_flow
+        from repro.wlo.registry import available_wlo_engines
+
+        width = max(len(name) for name in available_flows())
+        for name in available_flows():
+            spec = get_flow(name)
+            print(f"{name:<{width}}  {spec.description}")
+            print(f"{'':<{width}}    passes: {' -> '.join(spec.pass_names())}")
+        print(f"\nWLO engines: {', '.join(available_wlo_engines())}")
         return 0
 
     if args.command == "run":
@@ -218,21 +253,27 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
     import time
 
     from repro.experiments import SweepPlan
+    from repro.pipeline import get_flow
     from repro.report import TextTable
+    from repro.wlo.registry import get_wlo_engine
 
+    get_flow(args.flow)  # validate names up front, listing alternatives
+    get_wlo_engine(args.wlo)
     only = tuple(args.only) if args.only else None
     started = time.perf_counter()
     stats = runner.prefetch(
-        tuple(args.kernels), tuple(args.targets), grid, wlo=args.wlo, only=only
+        tuple(args.kernels), tuple(args.targets), grid, wlo=args.wlo,
+        only=only, flow=args.flow,
     )
     elapsed = time.perf_counter() - started
 
     plan = SweepPlan.build(
-        runner.config, args.kernels, args.targets, grid, args.wlo, only
+        runner.config, args.kernels, args.targets, grid, args.wlo, only,
+        args.flow,
     )
     table = TextTable(
         headers=(
-            "kernel", "target", "constraint_db", "wlo",
+            "kernel", "target", "constraint_db", "wlo", "flow",
             "scalar_cycles", "wlo_first_speedup", "wlo_slp_speedup",
             "float_speedup",
         ),
@@ -240,10 +281,12 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
     )
     for request in plan.requests:
         cell = runner.cell(
-            request.kernel, request.target, request.constraint_db, request.wlo
+            request.kernel, request.target, request.constraint_db,
+            request.wlo, request.flow,
         )
         table.add_row(
             cell.kernel, cell.target, cell.constraint_db, request.wlo,
+            request.flow,
             cell.scalar_cycles,
             round(cell.wlo_first_speedup, 3),
             round(cell.wlo_slp_speedup, 3),
@@ -256,24 +299,30 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flows import AnalysisContext, run_float, run_wlo_first, run_wlo_slp
+    from repro.flows.common import FlowResult
     from repro.kernels import kernel_by_name
+    from repro.pipeline import execute_flow, get_flow
     from repro.targets import get_target
+    from repro.wlo.registry import get_wlo_engine
 
     program = kernel_by_name(args.kernel)
     target = get_target(args.target)
-    if args.flow == "float":
-        print(run_float(program, target).summary())
-        return 0
-    context = AnalysisContext.build(program)
-    if args.flow == "wlo-slp":
-        result = run_wlo_slp(program, target, args.constraint, context)
-        print(result.summary())
-        assert result.spec is not None
+    spec = get_flow(args.flow)  # validates the name, listing alternatives
+    overrides = {}
+    if args.wlo is not None:
+        get_wlo_engine(args.wlo)  # validates the engine, listing engines
+        overrides["wlo"] = args.wlo
+    result, state = execute_flow(
+        args.flow, program, target,
+        args.constraint if spec.needs_constraint else None,
+        **overrides,
+    )
+    print(result.summary())
+    if isinstance(result, FlowResult) and result.spec is not None:
         print(result.spec.describe())
-    else:
-        result = run_wlo_first(program, target, args.constraint, context)
-        print(result.summary())
+    if args.timings:
+        print()
+        print(state.timing_report())
     return 0
 
 

@@ -45,6 +45,7 @@ from repro.experiments.engine import (
     SweepExecutor,
     SweepPlan,
     SweepStats,
+    cell_pipeline_signature,
     evaluate_cell,
 )
 from repro.experiments.fig4 import fig4_panel, fig4_table, render_fig4
@@ -75,6 +76,7 @@ __all__ = [
     "ablation_quant_mode",
     "ablation_wlo_engines",
     "ablation_wlo_slp_features",
+    "cell_pipeline_signature",
     "default_cache_dir",
     "evaluate_cell",
     "fig4_panel",

@@ -25,12 +25,17 @@ import json
 import os
 from pathlib import Path
 
-from repro.experiments.engine import Cell, CellRequest, KernelConfig
+from repro.experiments.engine import (
+    Cell,
+    CellRequest,
+    KernelConfig,
+    cell_pipeline_signature,
+)
 from repro.flows.common import flow_code_version
 
 __all__ = ["SweepCache", "default_cache_dir"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -49,12 +54,20 @@ class SweepCache:
 
     # ------------------------------------------------------------------
     def key(self, config: KernelConfig, request: CellRequest) -> str:
-        """Stable content hash of one cell's full identity."""
+        """Stable content hash of one cell's full identity.
+
+        Besides the config, the request and the code version, the key
+        hashes the *resolved pipeline structure* of the cell's flows —
+        every pass signature of the float/baseline/joint pipelines, in
+        order — so a newly declared flow variant (or a re-parameterized
+        pass list) can never alias cells of another pipeline shape.
+        """
         payload = {
             "format": _FORMAT_VERSION,
             "code_version": flow_code_version(),
             "config": dataclasses.asdict(config),
             "request": dataclasses.asdict(request),
+            "pipeline": cell_pipeline_signature(request),
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:32]
@@ -92,6 +105,7 @@ class SweepCache:
             "code_version": flow_code_version(),
             "config": dataclasses.asdict(config),
             "request": dataclasses.asdict(request),
+            "pipeline": cell_pipeline_signature(request),
             "cell": dataclasses.asdict(cell),
         }
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")

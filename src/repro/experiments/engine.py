@@ -28,12 +28,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+import pickle
+
 from repro.errors import FlowError
 from repro.flows.common import AnalysisContext
 from repro.flows.floatflow import run_float
-from repro.flows.wlo_first import run_wlo_first
-from repro.flows.wlo_slp import run_wlo_slp
+from repro.flows.wlo_first import WloFirstResult
 from repro.kernels import conv2d, fir, iir
+from repro.pipeline import ensure_flow, get_flow, run_flow
+from repro.pipeline.registry import registry_generation
 from repro.targets.registry import get_target
 
 __all__ = [
@@ -47,8 +50,10 @@ __all__ = [
     "SweepExecutor",
     "SweepStats",
     "build_context",
+    "cell_pipeline_signature",
     "evaluate_cell",
     "float_cycles",
+    "kernel_programs",
 ]
 
 #: Table I's constraint grid, reused for every figure by default.
@@ -100,14 +105,20 @@ class CellRequest:
     """One sweep cell, fully keyed.
 
     ``wlo`` names the WLO-First engine (``tabu`` is the paper's
-    baseline; ``max-1`` / ``min+1`` are the ablation engines).  It is
-    part of the key so ablation cells can never alias baseline cells.
+    baseline; ``max-1`` / ``min+1`` are the ablation engines) and
+    ``flow`` names the registered joint flow evaluated for the
+    ``wlo_slp_*`` columns (``wlo-slp`` is the paper's; any flow from
+    :mod:`repro.pipeline` is sweepable).  Both are part of the key —
+    and the on-disk cache additionally hashes the *resolved* pipeline
+    structure (:func:`cell_pipeline_signature`) — so variant cells can
+    never alias baseline cells.
     """
 
     kernel: str
     target: str
     constraint_db: float
     wlo: str = "tabu"
+    flow: str = "wlo-slp"
 
 
 @dataclass
@@ -147,14 +158,18 @@ class Cell:
 
 #: Per-process caches of the expensive shared work.  Keyed by the full
 #: (config, kernel) pair so differently-sized runners never collide.
+#: Kernel programs are built once per process; flow-level sharing
+#: (analysis passes, lowerings) lives in the pipeline's process-global
+#: :class:`~repro.pipeline.cache.PassCache`, keyed by content hash.
+_PROGRAMS: dict[tuple[KernelConfig, str], tuple] = {}
 _CONTEXTS: dict[tuple[KernelConfig, str], AnalysisContext] = {}
 _FLOAT_CYCLES: dict[tuple[KernelConfig, str, str], int] = {}
 
 
-def build_context(config: KernelConfig, kernel: str) -> AnalysisContext:
-    """Build (or recall) the analysis context of one kernel."""
+def kernel_programs(config: KernelConfig, kernel: str) -> tuple:
+    """Build (or recall) one kernel's (benchmark, analysis-twin) pair."""
     key = (config, kernel)
-    found = _CONTEXTS.get(key)
+    found = _PROGRAMS.get(key)
     if found is None:
         builders = config.builders()
         if kernel not in builders:
@@ -162,7 +177,18 @@ def build_context(config: KernelConfig, kernel: str) -> AnalysisContext:
                 f"unknown kernel {kernel!r}; have {config.kernel_names}"
             )
         build, build_twin = builders[kernel]
-        found = AnalysisContext.build(build(), build_twin())
+        found = (build(), build_twin())
+        _PROGRAMS[key] = found
+    return found
+
+
+def build_context(config: KernelConfig, kernel: str) -> AnalysisContext:
+    """Build (or recall) the analysis context of one kernel."""
+    key = (config, kernel)
+    found = _CONTEXTS.get(key)
+    if found is None:
+        program, twin = kernel_programs(config, kernel)
+        found = AnalysisContext.build(program, twin)
         _CONTEXTS[key] = found
     return found
 
@@ -178,32 +204,86 @@ def float_cycles(config: KernelConfig, kernel: str, target: str) -> int:
     return found
 
 
-def evaluate_cell(config: KernelConfig, request: CellRequest) -> Cell:
+#: (registry generation, memoized signatures by (wlo, flow)) — the
+#: sweep cache computes a cell key on every load *and* store, so the
+#: per-(wlo, flow) structure is resolved once per registry state
+#: instead of rebuilding three pipelines per cell.
+_SIGNATURES: list = [-1, {}]
+
+
+def cell_pipeline_signature(request: CellRequest) -> dict[str, list[str]]:
+    """Resolved pipeline structure of one cell's three flow runs.
+
+    Maps each role (``float`` reference, ``baseline`` = WLO-First with
+    the request's engine, ``joint`` = the request's flow) to its
+    ordered pass signatures.  The on-disk sweep cache hashes this into
+    the cell key, so declaring a new flow variant — or changing an
+    existing flow's pass list or parameters — can never alias cached
+    cells of another pipeline shape.
+    """
+    generation = registry_generation()
+    if _SIGNATURES[0] != generation:
+        _SIGNATURES[0] = generation
+        _SIGNATURES[1] = {}
+    memo = _SIGNATURES[1]
+    key = (request.wlo, request.flow)
+    found = memo.get(key)
+    if found is None:
+        found = {
+            "float": get_flow("float").pass_names(),
+            "baseline": get_flow("wlo-first").pass_names(wlo=request.wlo),
+            "joint": get_flow(request.flow).pass_names(),
+        }
+        memo[key] = found
+    return found
+
+
+def evaluate_cell(
+    config: KernelConfig, request: CellRequest, flows: tuple = ()
+) -> Cell:
     """Evaluate one sweep cell from scratch (deterministic, picklable).
 
-    This is the unit of work shipped to pool workers; everything it
-    touches beyond its two (frozen, picklable) arguments is memoized
-    process-locally, so repeated calls in one worker share kernel
-    builds and analysis contexts.
+    This is the unit of work shipped to pool workers.  All three flows
+    (float reference, WLO-First baseline with the request's engine, and
+    the request's joint flow) resolve through the flow registry and run
+    as pass pipelines; the process-global pass cache makes every cell
+    of a batch that shares a kernel reuse one analysis prefix, and
+    cells sharing (kernel, target, constraint) reuse lowerings too.
+
+    ``flows`` carries :class:`~repro.pipeline.FlowSpec` declarations to
+    adopt before resolving — how runtime-declared flow variants reach
+    pool workers on spawn/forkserver start methods (workers re-import
+    the package and would otherwise only know the built-ins).
     """
-    ctx = build_context(config, request.kernel)
+    for spec in flows:
+        ensure_flow(spec)
+    program, twin = kernel_programs(config, request.kernel)
     target = get_target(request.target)
-    wlo_first = run_wlo_first(
-        ctx.program, target, request.constraint_db, ctx, wlo=request.wlo
+    float_total = run_flow(
+        "float", program, target, analysis_program=twin
+    ).total_cycles
+    baseline = run_flow(
+        "wlo-first", program, target, request.constraint_db,
+        analysis_program=twin, wlo=request.wlo,
     )
-    wlo_slp = run_wlo_slp(ctx.program, target, request.constraint_db, ctx)
+    joint = run_flow(
+        request.flow, program, target, request.constraint_db,
+        analysis_program=twin,
+    )
+    if isinstance(joint, WloFirstResult):
+        joint = joint.simd  # decoupled variants: their SIMD best effort
     return Cell(
         kernel=request.kernel,
         target=request.target,
         constraint_db=request.constraint_db,
-        scalar_cycles=wlo_first.scalar.total_cycles,
-        wlo_first_simd_cycles=wlo_first.simd.total_cycles,
-        wlo_slp_cycles=wlo_slp.total_cycles,
-        float_cycles=float_cycles(config, request.kernel, request.target),
-        wlo_first_groups=wlo_first.simd.n_groups,
-        wlo_slp_groups=wlo_slp.n_groups,
-        wlo_first_noise_db=wlo_first.simd.noise_db or 0.0,
-        wlo_slp_noise_db=wlo_slp.noise_db or 0.0,
+        scalar_cycles=baseline.scalar.total_cycles,
+        wlo_first_simd_cycles=baseline.simd.total_cycles,
+        wlo_slp_cycles=joint.total_cycles,
+        float_cycles=float_total,
+        wlo_first_groups=baseline.simd.n_groups,
+        wlo_slp_groups=joint.n_groups,
+        wlo_first_noise_db=baseline.simd.noise_db or 0.0,
+        wlo_slp_noise_db=joint.noise_db or 0.0,
     )
 
 
@@ -226,14 +306,17 @@ class SweepPlan:
         grid: Iterable[float] = PAPER_CONSTRAINT_GRID,
         wlo: str = "tabu",
         only: Iterable[str] | None = None,
+        flow: str = "wlo-slp",
     ) -> "SweepPlan":
         """Enumerate (kernel × target × constraint) cells.
 
         ``only`` restricts the grid to ``kernel:target`` pairs (the CLI
-        ``--only fir:vex-1`` filter).  Duplicates are dropped and the
-        result is ordered kernel-major so consecutive cells share
-        analysis contexts — the shared-work deduplication that makes
-        the serial path and each pool worker build every kernel once.
+        ``--only fir:vex-1`` filter); ``wlo`` and ``flow`` select the
+        baseline WLO engine and the joint flow variant of every cell.
+        Duplicates are dropped and the result is ordered kernel-major
+        so consecutive cells share analysis-pass results — the
+        shared-work deduplication that makes the serial path and each
+        pool worker analyze every kernel once.
         """
         pairs = _parse_only(only)
         seen: set[CellRequest] = set()
@@ -243,7 +326,9 @@ class SweepPlan:
                 if pairs is not None and (kernel, target) not in pairs:
                     continue
                 for constraint in grid:
-                    request = CellRequest(kernel, target, float(constraint), wlo)
+                    request = CellRequest(
+                        kernel, target, float(constraint), wlo, flow
+                    )
                     if request not in seen:
                         seen.add(request)
                         requests.append(request)
@@ -386,10 +471,11 @@ class SweepExecutor:
             for request in misses:
                 yield request, evaluate_cell(config, request)
             return
+        flows = _shippable_flow_specs(misses)
         workers = min(self.jobs, len(misses))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
-                pool.submit(evaluate_cell, config, request): request
+                pool.submit(evaluate_cell, config, request, flows): request
                 for request in misses
             }
             while pending:
@@ -397,3 +483,29 @@ class SweepExecutor:
                 for future in done:
                     request = pending.pop(future)
                     yield request, future.result()
+
+
+def _shippable_flow_specs(requests: list[CellRequest]) -> tuple:
+    """The plan's flow declarations, filtered to what pickling allows.
+
+    Every flow a worker will resolve is shipped — the requests' joint
+    flows plus the ``float``/``wlo-first`` roles of every cell — so
+    runtime declarations *and* runtime re-declarations of built-ins
+    reach spawn-started workers (whose registries otherwise hold only
+    the stock declarations, silently diverging from the cache key the
+    parent computed).  A spec holding unpicklable callables (e.g.
+    closures defined in a REPL) is silently skipped — on fork
+    platforms the worker inherits it anyway, elsewhere the worker
+    raises the registry's clear unknown-flow error.
+    """
+    names = dict.fromkeys(["float", "wlo-first"])
+    names.update(dict.fromkeys(r.flow for r in requests))
+    specs = []
+    for name in names:
+        spec = get_flow(name)
+        try:
+            pickle.dumps(spec)
+        except Exception:
+            continue
+        specs.append(spec)
+    return tuple(specs)

@@ -83,9 +83,12 @@ class ExperimentRunner:
         target_name: str,
         constraint_db: float,
         wlo: str = "tabu",
+        flow: str = "wlo-slp",
     ) -> Cell:
         """Run (or recall) one sweep cell."""
-        request = CellRequest(kernel, target_name, float(constraint_db), wlo)
+        request = CellRequest(
+            kernel, target_name, float(constraint_db), wlo, flow
+        )
         found = self._cells.get(request)
         if found is not None:
             return found
@@ -99,10 +102,11 @@ class ExperimentRunner:
         target_name: str,
         grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
         wlo: str = "tabu",
+        flow: str = "wlo-slp",
     ) -> list[Cell]:
         """All cells of one (kernel, target) panel."""
-        self.prefetch((kernel,), (target_name,), grid, wlo)
-        return [self.cell(kernel, target_name, a, wlo) for a in grid]
+        self.prefetch((kernel,), (target_name,), grid, wlo, flow=flow)
+        return [self.cell(kernel, target_name, a, wlo, flow) for a in grid]
 
     # ------------------------------------------------------------------
     def prefetch(
@@ -112,6 +116,7 @@ class ExperimentRunner:
         grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
         wlo: str = "tabu",
         only: tuple[str, ...] | None = None,
+        flow: str = "wlo-slp",
     ) -> SweepStats:
         """Resolve a whole grid through the executor in one batch.
 
@@ -119,6 +124,8 @@ class ExperimentRunner:
         grid is evaluated concurrently, then the figure/table builders
         read them back from the memo.  Returns the resolution stats.
         """
-        plan = SweepPlan.build(self.config, kernels, targets, grid, wlo, only)
+        plan = SweepPlan.build(
+            self.config, kernels, targets, grid, wlo, only, flow
+        )
         _, stats = self.executor.run(plan)
         return stats

@@ -8,7 +8,6 @@ accuracy-blind SLP extraction + SIMD lowering.
 
 from __future__ import annotations
 
-from repro.errors import FlowError
 from repro.flows.common import AnalysisContext, FlowResult
 from repro.codegen.scalar import lower_scalar_program
 from repro.codegen.simd import lower_simd_program
@@ -16,7 +15,7 @@ from repro.ir.program import Program
 from repro.scheduler.cycles import program_cycles
 from repro.slp.extraction import SelectionStats, extract_groups_decoupled
 from repro.targets.model import TargetModel
-from repro.wlo.greedy import max_minus_one, min_plus_one
+from repro.wlo.registry import get_wlo_engine
 from repro.wlo.tabu import TabuConfig, tabu_wlo
 
 __all__ = ["WloFirstResult", "run_wlo_first"]
@@ -52,22 +51,21 @@ def run_wlo_first(
 ) -> WloFirstResult:
     """Run the decoupled baseline flow.
 
-    ``wlo`` selects the word-length engine: ``"tabu"`` (the paper's
-    baseline), or ``"max-1"`` / ``"min+1"`` greedy ablations.
+    ``wlo`` names the word-length engine, resolved through
+    :mod:`repro.wlo.registry`: ``"tabu"`` (the paper's baseline), the
+    ``"max-1"`` / ``"min+1"`` greedy ablations, or anything registered
+    with :func:`repro.wlo.registry.register_wlo_engine`.
     """
+    engine = get_wlo_engine(wlo)
     ctx = context or AnalysisContext.build(program)
     spec = ctx.fresh_spec(max_wl=target.max_wl)
 
-    if wlo == "tabu":
+    if tabu_config is not None and wlo.lower() == "tabu":
         wlo_stats = tabu_wlo(
             program, spec, ctx.model, target, accuracy_db, tabu_config
         )
-    elif wlo == "max-1":
-        wlo_stats = max_minus_one(program, spec, ctx.model, target, accuracy_db)
-    elif wlo == "min+1":
-        wlo_stats = min_plus_one(program, spec, ctx.model, target, accuracy_db)
     else:
-        raise FlowError(f"unknown WLO engine {wlo!r}")
+        wlo_stats = engine(program, spec, ctx.model, target, accuracy_db)
 
     noise_db = ctx.model.noise_db(spec)
 

@@ -1,0 +1,161 @@
+"""Per-pass result cache and the content fingerprints that key it.
+
+Two-level scheme:
+
+* **Fingerprints** identify artifact *content*.  Seed artifacts get a
+  true content hash — a :class:`~repro.ir.program.Program` hashes its
+  printed IR plus every compile-time array payload, a target model its
+  dataclass repr, a constraint its float repr.  Artifacts produced by
+  a pass inherit a fingerprint derived from that pass's cache key, so
+  provenance chains compose without re-hashing big objects.
+* **Pass keys** combine the pass signature (name + parameters), the
+  fingerprints of everything the pass reads, and
+  :func:`~repro.flows.common.flow_code_version` (so editing semantic
+  source rolls every key).  The :class:`PassCache` maps keys to output
+  artifact dicts; per-pass hit/miss counters make reuse observable to
+  tests, benchmarks and the ``--timings`` report.
+
+The default cache is process-global: every pipeline run in a process
+(or pool worker) shares one analysis prefix per kernel, which is what
+lets a constraint sweep skip range/adjoint work on all but the first
+constraint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from repro.ir.program import Program
+from repro.targets.model import TargetModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pipeline.passes import Pass
+    from repro.pipeline.state import FlowState
+
+__all__ = [
+    "PassCache",
+    "content_fingerprint",
+    "global_pass_cache",
+    "pass_key",
+]
+
+
+def _digest(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:32]
+
+
+def _program_fingerprint(program: Program) -> str:
+    """Content hash of a program: printed IR + compile-time payloads.
+
+    The printer covers symbols (with value ranges), the loop tree and
+    every op; coefficient/state payloads are hashed separately because
+    the printer does not dump array contents.  Memoized on the program
+    object — kernel programs live for the whole process.
+    """
+    cached = getattr(program, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    payloads = hashlib.sha256()
+    for decl in program.arrays.values():
+        if decl.values is not None:
+            payloads.update(decl.name.encode())
+            payloads.update(str(decl.values.dtype).encode())
+            payloads.update(decl.values.tobytes())
+    fingerprint = _digest("program", program.name, str(program),
+                          payloads.hexdigest())
+    try:
+        program._content_fingerprint = fingerprint
+    except AttributeError:  # pragma: no cover - slotted Program variant
+        pass
+    return fingerprint
+
+
+def content_fingerprint(value: Any) -> str:
+    """Content hash of a seed artifact (program / target / scalar)."""
+    if isinstance(value, Program):
+        return _program_fingerprint(value)
+    if isinstance(value, TargetModel):
+        return _digest("target", repr(value))
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return _digest("scalar", repr(value))
+    raise TypeError(
+        f"no content fingerprint for {type(value).__name__}; "
+        f"derived artifacts must be written by a pass"
+    )
+
+
+def pass_key(pass_: "Pass", state: "FlowState") -> str:
+    """Cache key of one pass applied to one state."""
+    from repro.flows.common import flow_code_version
+
+    return _digest(
+        "pass", pass_.signature(), flow_code_version(),
+        *(state.fingerprint(name) for name in pass_.reads),
+    )
+
+
+class PassCache:
+    """LRU-bounded store of pass outputs with per-pass hit counters.
+
+    ``misses[name]`` counts actual executions of cacheable passes, so
+    "the analysis prefix ran exactly once across this sweep" is a
+    directly assertable property.
+
+    The cache is least-recently-used bounded (``max_entries``) because
+    the global instance lives for the whole process: per-cell artifacts
+    (lowered programs, cycle reports of individual constraints) would
+    otherwise accumulate across a long sweep.  The hot, shared entries
+    — the analysis prefix of each kernel — are re-touched by every
+    cell and therefore never age out in practice.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    def lookup(self, pass_name: str, key: str) -> dict[str, Any] | None:
+        found = self._entries.get(key)
+        if found is None:
+            self.count_execution(pass_name)
+            return None
+        self._entries.move_to_end(key)
+        self.hits[pass_name] = self.hits.get(pass_name, 0) + 1
+        return found
+
+    def count_execution(self, pass_name: str) -> None:
+        """Record one actual run (also used for uncacheable passes)."""
+        self.misses[pass_name] = self.misses.get(pass_name, 0) + 1
+
+    def store(self, key: str, outputs: dict[str, Any]) -> None:
+        self._entries[key] = outputs
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def executions(self, pass_name: str) -> int:
+        """How many times the named pass actually ran (cache misses)."""
+        return self.misses.get(pass_name, 0)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits.clear()
+        self.misses.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_GLOBAL_CACHE = PassCache()
+
+
+def global_pass_cache() -> PassCache:
+    """The process-wide cache every pipeline run shares by default."""
+    return _GLOBAL_CACHE

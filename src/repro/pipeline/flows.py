@@ -1,0 +1,227 @@
+"""Built-in flow declarations: the paper's three flows, plus variants.
+
+Each of the paper's flows (`float`, `wlo-first`, `wlo-slp`) is a
+declared pass list instead of a hand-wired function, built by a small
+factory so that *new* scenarios — a different WLO engine, an ablation
+configuration, a hybrid — are one-line registrations.  The two extra
+variants at the bottom (`wlo-first-greedy`, `wlo-slp-lite`) exist to
+prove exactly that point, and double as sweepable ablation flows.
+
+Importing this module populates the registry; `repro.pipeline`
+re-exports everything, so ``from repro.pipeline import run_flow`` is
+all a caller needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.flows.common import FlowResult
+from repro.flows.wlo_first import WloFirstResult
+from repro.pipeline.passes import (
+    AccuracyModelPass,
+    AdjointGainsPass,
+    DecoupledSlpPass,
+    IwlAssignmentPass,
+    JointWloSlpPass,
+    LowerFloatPass,
+    LowerScalarPass,
+    LowerSimdPass,
+    NoiseReportPass,
+    Pass,
+    RangeAnalysisPass,
+    SchedulePass,
+    WloPass,
+)
+from repro.pipeline.registry import FlowSpec, register_flow
+from repro.pipeline.state import FlowState
+
+__all__ = ["declare_decoupled_flow", "declare_joint_flow"]
+
+
+def _analysis_passes() -> tuple[Pass, ...]:
+    """The shared prefix: ranges, adjoint gains, accuracy model."""
+    return (RangeAnalysisPass(), AdjointGainsPass(), AccuracyModelPass())
+
+
+# ----------------------------------------------------------------------
+# float
+
+def _build_float() -> tuple[Pass, ...]:
+    return (LowerFloatPass(), SchedulePass("float_lowered", "cycles"))
+
+
+def _float_result(
+    state: FlowState, flow_name: str, params: dict[str, Any]
+) -> FlowResult:
+    program = state.get("program")
+    return FlowResult(
+        flow=flow_name,
+        program_name=program.name,
+        target_name=state.get("target").name,
+        constraint_db=math.nan,
+        spec=None,
+        cycles=state.get("cycles"),
+        noise_db=None,
+    )
+
+
+register_flow(FlowSpec(
+    name="float",
+    description="floating-point reference (FPU or soft-float), Fig. 6 base",
+    build=_build_float,
+    result=_float_result,
+    needs_constraint=False,
+))
+
+
+# ----------------------------------------------------------------------
+# wlo-first (decoupled baseline) and its variants
+
+def _build_decoupled(wlo: str) -> tuple[Pass, ...]:
+    return (
+        *_analysis_passes(),
+        IwlAssignmentPass(),
+        WloPass(engine=wlo),
+        NoiseReportPass(),
+        LowerScalarPass(),
+        SchedulePass("scalar_lowered", "scalar_cycles"),
+        DecoupledSlpPass(),
+        LowerSimdPass(),
+        SchedulePass("simd_lowered", "simd_cycles"),
+    )
+
+
+def _decoupled_result(
+    state: FlowState, flow_name: str, params: dict[str, Any]
+) -> WloFirstResult:
+    program = state.get("program")
+    target = state.get("target")
+    constraint = state.get("constraint_db")
+    spec = state.get("spec")
+    noise_db = state.get("noise_db")
+    wlo_stats = state.get("wlo_stats")
+    prefix = f"{flow_name}/{params['wlo']}"
+    scalar = FlowResult(
+        flow=f"{prefix}/scalar",
+        program_name=program.name,
+        target_name=target.name,
+        constraint_db=constraint,
+        spec=spec,
+        cycles=state.get("scalar_cycles"),
+        noise_db=noise_db,
+        extra={"wlo_stats": wlo_stats},
+    )
+    simd = FlowResult(
+        flow=f"{prefix}/simd",
+        program_name=program.name,
+        target_name=target.name,
+        constraint_db=constraint,
+        spec=spec,
+        cycles=state.get("simd_cycles"),
+        groups=state.get("groups"),
+        noise_db=noise_db,
+        extra={
+            "wlo_stats": wlo_stats,
+            "selection_stats": state.get("selection_stats"),
+        },
+    )
+    return WloFirstResult(scalar, simd)
+
+
+def declare_decoupled_flow(
+    name: str, description: str, wlo: str = "tabu", **register_kwargs: Any
+) -> FlowSpec:
+    """Declare a WLO-then-SLP flow around the named WLO engine."""
+    return register_flow(FlowSpec(
+        name=name,
+        description=description,
+        build=_build_decoupled,
+        result=_decoupled_result,
+        params={"wlo": wlo},
+    ), **register_kwargs)
+
+
+# ----------------------------------------------------------------------
+# wlo-slp (the paper's joint flow) and its variants
+
+def _build_joint(
+    harmonize: bool, scaloptim: bool, accuracy_conflicts: bool
+) -> tuple[Pass, ...]:
+    return (
+        *_analysis_passes(),
+        IwlAssignmentPass(),
+        JointWloSlpPass(
+            harmonize=harmonize,
+            scaloptim=scaloptim,
+            accuracy_conflicts=accuracy_conflicts,
+        ),
+        NoiseReportPass(),
+        LowerSimdPass(),
+        SchedulePass("simd_lowered", "cycles"),
+    )
+
+
+def _joint_result(
+    state: FlowState, flow_name: str, params: dict[str, Any]
+) -> FlowResult:
+    return FlowResult(
+        flow=flow_name,
+        program_name=state.get("program").name,
+        target_name=state.get("target").name,
+        constraint_db=state.get("constraint_db"),
+        spec=state.get("spec"),
+        cycles=state.get("cycles"),
+        groups=state.get("groups"),
+        noise_db=state.get("noise_db"),
+        extra={
+            "selection_stats": state.get("selection_stats"),
+            "scaling_stats": state.get("scaling_stats"),
+        },
+    )
+
+
+def declare_joint_flow(
+    name: str,
+    description: str,
+    harmonize: bool = True,
+    scaloptim: bool = True,
+    accuracy_conflicts: bool = True,
+    **register_kwargs: Any,
+) -> FlowSpec:
+    """Declare a joint SLP-aware WLO flow with the given features."""
+    return register_flow(FlowSpec(
+        name=name,
+        description=description,
+        build=_build_joint,
+        result=_joint_result,
+        params={
+            "harmonize": harmonize,
+            "scaloptim": scaloptim,
+            "accuracy_conflicts": accuracy_conflicts,
+        },
+    ), **register_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Registrations.  The paper's flows…
+
+declare_decoupled_flow(
+    "wlo-first", "decoupled baseline (paper Fig. 5): Tabu WLO, then SLP"
+)
+declare_joint_flow(
+    "wlo-slp", "joint SLP-aware WLO (paper Fig. 3) — the paper's flow"
+)
+
+# …and the variants proving flows are one-line declarations now.
+declare_decoupled_flow(
+    "wlo-first-greedy",
+    "decoupled baseline with greedy max-1 WLO instead of Tabu",
+    wlo="max-1",
+)
+declare_joint_flow(
+    "wlo-slp-lite",
+    "joint flow without SCALOPTIM or boundary harmonization (pure Fig. 1c)",
+    harmonize=False, scaloptim=False,
+)

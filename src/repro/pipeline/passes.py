@@ -1,0 +1,385 @@
+"""The pass library: every stage of the paper's flows as a `Pass`.
+
+A pass is a named, parameterized transformation over a
+:class:`~repro.pipeline.state.FlowState`: it declares which artifacts
+it ``reads`` and ``writes``, and :meth:`Pass.run` returns the written
+artifacts as a dict.  Passes whose outputs are immutable downstream
+set ``cacheable`` and are memoized across pipeline runs by content
+hash (see :mod:`repro.pipeline.cache`) — in a constraint sweep the
+whole analysis prefix (range analysis, adjoint gains, accuracy model)
+resolves from cache on every constraint after the first.
+
+Each pass body is a verbatim transliteration of the corresponding step
+of the legacy flow functions in :mod:`repro.flows` (same callees, same
+defaults, same order), which is what makes pipeline flows bit-identical
+to them — the parity contract ``tests/test_pipeline.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.accuracy.adjoint import extract_gains
+from repro.accuracy.analytical import AccuracyModel
+from repro.codegen.floatgen import lower_float_program
+from repro.codegen.scalar import lower_scalar_program
+from repro.codegen.simd import lower_simd_program
+from repro.errors import FlowError
+from repro.fixedpoint.iwl import assign_iwls
+from repro.fixedpoint.range_analysis import RangeResult, analyze_ranges
+from repro.fixedpoint.spec import FixedPointSpec, SlotMap
+from repro.pipeline.state import FlowState
+from repro.scheduler.cycles import program_cycles
+from repro.slp.extraction import SelectionStats, extract_groups_decoupled
+from repro.wlo.registry import get_wlo_engine
+from repro.wlo.slp_aware import wlo_slp_optimize
+
+__all__ = [
+    "ANALYSIS_PASS_NAMES",
+    "AccuracyModelPass",
+    "AdjointGainsPass",
+    "DecoupledSlpPass",
+    "IwlAssignmentPass",
+    "JointWloSlpPass",
+    "LowerFloatPass",
+    "LowerScalarPass",
+    "LowerSimdPass",
+    "NoiseReportPass",
+    "Pass",
+    "RangeAnalysisPass",
+    "SchedulePass",
+    "WloPass",
+    "check_pass_list",
+]
+
+
+class Pass:
+    """One step of a flow pipeline.
+
+    Subclasses set ``name``, declare ``reads``/``writes`` (artifact
+    names on the :class:`FlowState`), and implement :meth:`run`
+    returning a dict with exactly the ``writes`` keys.  ``cacheable``
+    marks passes whose outputs are never mutated downstream and may
+    therefore be shared between pipeline runs.  Constructor parameters
+    that change the pass's behaviour must be reported by
+    :meth:`params` — they are part of the cache key and of the flow's
+    resolved structure (which the sweep cache keys cells on).
+    """
+
+    name: str = "pass"
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    cacheable: bool = False
+
+    def params(self) -> dict[str, Any]:
+        """Cache-relevant constructor parameters."""
+        return {}
+
+    def signature(self) -> str:
+        """Stable identity: name plus sorted parameters."""
+        params = self.params()
+        if not params:
+            return self.name
+        rendered = ",".join(f"{k}={params[k]!r}" for k in sorted(params))
+        return f"{self.name}[{rendered}]"
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.signature()}>"
+
+
+# ----------------------------------------------------------------------
+# Analysis prefix (constraint- and target-independent, cacheable).
+
+class RangeAnalysisPass(Pass):
+    """Dynamic-range analysis on the analysis twin, re-keyed onto the
+    benchmark program's slot map (identical numbering)."""
+
+    name = "range-analysis"
+    reads = ("program", "analysis_program")
+    writes = ("slotmap", "ranges")
+    cacheable = True
+
+    def __init__(self, method: str = "auto") -> None:
+        self.method = method
+
+    def params(self) -> dict[str, Any]:
+        return {"method": self.method}
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        program = state.get("program")
+        twin = state.get("analysis_program")
+        slotmap = SlotMap(program)
+        twin_slotmap = slotmap if twin is program else SlotMap(twin)
+        ranges = analyze_ranges(twin, twin_slotmap, method=self.method)
+        ranges = RangeResult(slotmap, ranges.ranges, ranges.method)
+        return {"slotmap": slotmap, "ranges": ranges}
+
+
+class AdjointGainsPass(Pass):
+    """Noise-gain extraction (trace + adjoints) on the analysis twin."""
+
+    name = "adjoint-gains"
+    reads = ("program", "analysis_program")
+    writes = ("gains",)
+    cacheable = True
+
+    def __init__(self, n_ref_outputs: int = 4, seed: int = 90210) -> None:
+        self.n_ref_outputs = n_ref_outputs
+        self.seed = seed
+
+    def params(self) -> dict[str, Any]:
+        return {"n_ref_outputs": self.n_ref_outputs, "seed": self.seed}
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        program = state.get("program")
+        twin = state.get("analysis_program")
+        twin_slotmap = SlotMap(program) if twin is program else SlotMap(twin)
+        gains = extract_gains(
+            twin, twin_slotmap,
+            n_ref_outputs=self.n_ref_outputs, seed=self.seed,
+        )
+        return {"gains": gains}
+
+
+class AccuracyModelPass(Pass):
+    """Analytical accuracy model over the extracted gains."""
+
+    name = "accuracy-model"
+    reads = ("program", "slotmap", "gains")
+    writes = ("model",)
+    cacheable = True
+
+    def __init__(self, **model_kwargs: Any) -> None:
+        self.model_kwargs = model_kwargs
+
+    def params(self) -> dict[str, Any]:
+        return dict(self.model_kwargs)
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        model = AccuracyModel(
+            state.get("program"), state.get("slotmap"), state.get("gains"),
+            **self.model_kwargs,
+        )
+        return {"model": model}
+
+
+#: The shared, constraint-independent prefix every fixed-point flow
+#: starts with — the passes a warm sweep must never re-execute.
+ANALYSIS_PASS_NAMES: tuple[str, ...] = (
+    RangeAnalysisPass.name, AdjointGainsPass.name, AccuracyModelPass.name
+)
+
+
+# ----------------------------------------------------------------------
+# Spec construction and word-length optimization (mutable, uncached).
+
+class IwlAssignmentPass(Pass):
+    """Fresh spec with range-derived IWLs at the target's maximum WL.
+
+    Uncacheable on purpose: the spec is mutated by the WLO passes, so
+    every pipeline run needs its own instance (construction is cheap).
+    """
+
+    name = "iwl-assignment"
+    reads = ("slotmap", "ranges", "target")
+    writes = ("spec",)
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        spec = FixedPointSpec(
+            state.get("slotmap"), max_wl=state.get("target").max_wl
+        )
+        assign_iwls(spec, state.get("ranges"))
+        return {"spec": spec}
+
+
+class WloPass(Pass):
+    """Standalone word-length optimization via a registered engine."""
+
+    name = "wlo"
+    reads = ("program", "spec", "model", "target", "constraint_db")
+    writes = ("spec", "wlo_stats")
+
+    def __init__(self, engine: str = "tabu") -> None:
+        self.engine = engine
+
+    def params(self) -> dict[str, Any]:
+        return {"engine": self.engine}
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        engine = get_wlo_engine(self.engine)
+        spec = state.get("spec")
+        stats = engine(
+            state.get("program"), spec, state.get("model"),
+            state.get("target"), state.get("constraint_db"),
+        )
+        return {"spec": spec, "wlo_stats": stats}
+
+
+class JointWloSlpPass(Pass):
+    """The paper's joint SLP-aware WLO (Fig. 1), groups + spec at once."""
+
+    name = "wlo-slp"
+    reads = ("program", "spec", "model", "target", "constraint_db")
+    writes = ("spec", "groups", "selection_stats", "scaling_stats")
+
+    def __init__(
+        self,
+        harmonize: bool = True,
+        scaloptim: bool = True,
+        accuracy_conflicts: bool = True,
+    ) -> None:
+        self.harmonize = harmonize
+        self.scaloptim = scaloptim
+        self.accuracy_conflicts = accuracy_conflicts
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "harmonize": self.harmonize,
+            "scaloptim": self.scaloptim,
+            "accuracy_conflicts": self.accuracy_conflicts,
+        }
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        spec = state.get("spec")
+        outcome = wlo_slp_optimize(
+            state.get("program"), spec, state.get("model"),
+            state.get("target"), state.get("constraint_db"),
+            harmonize=self.harmonize, scaloptim=self.scaloptim,
+            accuracy_conflicts=self.accuracy_conflicts,
+        )
+        return {
+            "spec": spec,
+            "groups": outcome.groups,
+            "selection_stats": outcome.selection,
+            "scaling_stats": outcome.scaling,
+        }
+
+
+class NoiseReportPass(Pass):
+    """Analytical output noise of the final spec, in dB."""
+
+    name = "noise-report"
+    reads = ("model", "spec")
+    writes = ("noise_db",)
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        return {"noise_db": state.get("model").noise_db(state.get("spec"))}
+
+
+class DecoupledSlpPass(Pass):
+    """Accuracy-blind SLP extraction after the fact (WLO-First's SLP)."""
+
+    name = "slp-extract"
+    reads = ("program", "spec", "target")
+    writes = ("groups", "selection_stats")
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        program = state.get("program")
+        spec = state.get("spec")
+        target = state.get("target")
+        stats = SelectionStats()
+        groups = {
+            name: extract_groups_decoupled(program, block, spec, target, stats)
+            for name, block in program.blocks.items()
+        }
+        return {"groups": groups, "selection_stats": stats}
+
+
+# ----------------------------------------------------------------------
+# Lowering and scheduling (deterministic from spec/groups, cacheable).
+
+class LowerFloatPass(Pass):
+    """Single-precision float lowering (FPU or serialized soft-float)."""
+
+    name = "lower-float"
+    reads = ("program", "target")
+    writes = ("float_lowered",)
+    cacheable = True
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        lowered = lower_float_program(state.get("program"), state.get("target"))
+        return {"float_lowered": lowered}
+
+
+class LowerScalarPass(Pass):
+    """Scalar fixed-point lowering of the optimized spec."""
+
+    name = "lower-scalar"
+    reads = ("program", "spec", "target")
+    writes = ("scalar_lowered",)
+    cacheable = True
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        lowered = lower_scalar_program(
+            state.get("program"), state.get("spec"), state.get("target")
+        )
+        return {"scalar_lowered": lowered}
+
+
+class LowerSimdPass(Pass):
+    """SIMD fixed-point lowering of spec + groups."""
+
+    name = "lower-simd"
+    reads = ("program", "spec", "target", "groups")
+    writes = ("simd_lowered",)
+    cacheable = True
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        lowered = lower_simd_program(
+            state.get("program"), state.get("spec"), state.get("target"),
+            state.get("groups"),
+        )
+        return {"simd_lowered": lowered}
+
+
+class SchedulePass(Pass):
+    """List-schedule a lowered program into a cycle report.
+
+    Parameterized by source/destination artifact names so one flow can
+    schedule several lowerings (WLO-First schedules both its scalar
+    baseline and its SIMD best effort).
+    """
+
+    name = "schedule"
+    cacheable = True
+
+    def __init__(self, src: str, dst: str = "cycles") -> None:
+        self.src = src
+        self.dst = dst
+        self.reads = ("program", src, "target")
+        self.writes = (dst,)
+
+    def params(self) -> dict[str, Any]:
+        return {"src": self.src, "dst": self.dst}
+
+    def run(self, state: FlowState) -> dict[str, Any]:
+        cycles = program_cycles(
+            state.get("program"), state.get(self.src), state.get("target")
+        )
+        return {self.dst: cycles}
+
+
+def check_pass_list(
+    passes: tuple[Pass, ...], has_constraint: bool = True
+) -> None:
+    """Static shape check: every read is seeded or written upstream.
+
+    ``has_constraint`` mirrors the owning flow's ``needs_constraint``:
+    a constraint-free flow (like ``float``) must not contain a pass
+    reading ``constraint_db``, and that mistake should fail here, at
+    declaration shape-check time, not midway through a run.
+    """
+    available = {"program", "analysis_program", "target"}
+    if has_constraint:
+        available.add("constraint_db")
+    for pass_ in passes:
+        missing = set(pass_.reads) - available
+        if missing:
+            raise FlowError(
+                f"pass {pass_.signature()!r} reads {sorted(missing)} which "
+                f"no earlier pass writes"
+            )
+        available.update(pass_.writes)

@@ -29,6 +29,6 @@ class ProgressPrinter:
         line = (
             f"[{done:>{width}}/{total}] {outcome.source:<8} "
             f"{request.kernel}:{request.target} @ {request.constraint_db:g} dB "
-            f"(wlo-slp {outcome.cell.wlo_slp_cycles} cycles)"
+            f"({request.flow} {outcome.cell.wlo_slp_cycles} cycles)"
         )
         print(line, file=self.stream, flush=True)

@@ -2,6 +2,11 @@
 
 from repro.wlo.cost import wl_relative_cost
 from repro.wlo.greedy import GreedyResult, max_minus_one, min_plus_one
+from repro.wlo.registry import (
+    available_wlo_engines,
+    get_wlo_engine,
+    register_wlo_engine,
+)
 from repro.wlo.scaling import (
     ScalingStats,
     lane_shifts,
@@ -17,10 +22,13 @@ __all__ = [
     "TabuConfig",
     "TabuResult",
     "WloSlpOutcome",
+    "available_wlo_engines",
+    "get_wlo_engine",
     "lane_shifts",
     "max_minus_one",
     "min_plus_one",
     "optimize_scalings",
+    "register_wlo_engine",
     "superword_reuses",
     "tabu_wlo",
     "wl_relative_cost",

@@ -10,11 +10,15 @@ class TestParser:
         parser = build_parser()
         for argv in (
             ["targets"],
+            ["flows"],
             ["run", "--kernel", "dot", "--constraint", "-20"],
+            ["run", "--kernel", "dot", "--flow", "wlo-first",
+             "--wlo", "min+1", "--timings"],
             ["fig4", "--kernels", "fir", "--targets", "xentium"],
             ["table1"],
             ["fig6", "--grid", "-15", "-45"],
             ["ablations", "--kernel", "iir"],
+            ["sweep", "--flow", "wlo-slp-lite", "--wlo", "max-1"],
             ["codegen", "--kernel", "dot", "--simd"],
         ):
             parser.parse_args(argv)
@@ -55,6 +59,50 @@ class TestCommands:
         code = main(["run", "--kernel", "dot", "--target", "tpu"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestFlowsCommand:
+    def test_lists_flows_and_engines(self, capsys):
+        assert main(["flows"]) == 0
+        out = capsys.readouterr().out
+        for name in ("float", "wlo-first", "wlo-slp", "wlo-first-greedy",
+                     "wlo-slp-lite"):
+            assert name in out
+        assert "range-analysis" in out  # pass structure is shown
+        assert "WLO engines:" in out and "tabu" in out
+
+
+class TestRunFlowSelection:
+    def test_run_variant_flow_by_name(self, capsys):
+        assert main(["run", "--kernel", "dot", "--constraint", "-30",
+                     "--flow", "wlo-slp-lite"]) == 0
+        assert "wlo-slp-lite" in capsys.readouterr().out
+
+    def test_run_wlo_engine_selection(self, capsys):
+        assert main(["run", "--kernel", "dot", "--constraint", "-30",
+                     "--flow", "wlo-first", "--wlo", "min+1"]) == 0
+        assert "wlo-first/min+1" in capsys.readouterr().out
+
+    def test_run_timings_report(self, capsys):
+        assert main(["run", "--kernel", "dot", "--constraint", "-30",
+                     "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "range-analysis" in out and "passes cached" in out
+
+    def test_unknown_flow_lists_available(self, capsys):
+        assert main(["run", "--kernel", "dot", "--flow", "warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown flow" in err and "wlo-slp" in err
+
+    def test_unknown_engine_lists_available(self, capsys):
+        assert main(["run", "--kernel", "dot", "--wlo", "quantum"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown WLO engine" in err and "tabu" in err
+
+    def test_engine_override_on_flow_without_wlo_param(self, capsys):
+        assert main(["run", "--kernel", "dot", "--flow", "float",
+                     "--wlo", "tabu"]) == 1
+        assert "no parameter" in capsys.readouterr().err
 
 
 class TestValidateCommand:

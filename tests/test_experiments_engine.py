@@ -139,6 +139,43 @@ class TestCache:
         greedy = cache.key(config, CellRequest("fir", "xentium", -15.0, "max-1"))
         assert tabu != greedy
 
+    def test_key_depends_on_flow_variant(self, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = cache.key(config, CellRequest("fir", "xentium", -15.0))
+        lite = cache.key(
+            config, CellRequest("fir", "xentium", -15.0, flow="wlo-slp-lite")
+        )
+        assert base != lite
+
+    def test_key_depends_on_pipeline_structure(self, config):
+        """Re-declaring a flow with a different pass list rolls the key
+        even though the request tuple is unchanged."""
+        from repro.pipeline import declare_joint_flow, get_flow, register_flow
+
+        cache = SweepCache()
+        request = CellRequest("fir", "xentium", -15.0)
+        before = cache.key(config, request)
+        original = get_flow("wlo-slp")
+        declare_joint_flow(
+            "wlo-slp", "restructured for the test", scaloptim=False,
+            overwrite=True,
+        )
+        try:
+            assert cache.key(config, request) != before
+        finally:
+            register_flow(original, overwrite=True)
+        assert cache.key(config, request) == before
+
+    def test_pipeline_signature_names_all_three_roles(self):
+        from repro.experiments import cell_pipeline_signature
+
+        signature = cell_pipeline_signature(
+            CellRequest("fir", "xentium", -15.0, "min+1", "wlo-slp-lite")
+        )
+        assert set(signature) == {"float", "baseline", "joint"}
+        assert "wlo[engine='min+1']" in signature["baseline"]
+        assert any("scaloptim=False" in name for name in signature["joint"])
+
 
 class TestParallel:
     def test_parallel_equals_serial(self, config, reference_cells):
@@ -181,6 +218,32 @@ class TestRunnerKeying:
         request = next(iter(reference_cells))
         assert evaluate_cell(config, request) == reference_cells[request]
 
+    def test_evaluate_cell_adopts_shipped_flow_specs(self, config):
+        """Runtime-declared variants reach workers as shipped FlowSpecs
+        (the spawn/forkserver path, simulated in-process by dropping
+        the registration before re-evaluating)."""
+        import pickle
+
+        from repro.pipeline import declare_joint_flow, get_flow
+        from repro.pipeline import registry as flow_registry
+
+        declare_joint_flow(
+            "test-shipped", "worker-shipping test variant", scaloptim=False,
+            overwrite=True,
+        )
+        try:
+            spec = pickle.loads(pickle.dumps(get_flow("test-shipped")))
+            request = CellRequest("fir", "xentium", -15.0, flow="test-shipped")
+            expected = evaluate_cell(config, request)
+            # Simulate a freshly spawned worker: the runtime registration
+            # is gone, only the shipped spec can resolve the flow.
+            del flow_registry._FLOWS["test-shipped"]
+            with pytest.raises(FlowError, match="unknown flow"):
+                evaluate_cell(config, request)
+            assert evaluate_cell(config, request, flows=(spec,)) == expected
+        finally:
+            flow_registry._FLOWS.pop("test-shipped", None)
+
 
 class TestSweepCLI:
     def test_sweep_cold_then_warm(self, tmp_path, capsys):
@@ -201,3 +264,28 @@ class TestSweepCLI:
         assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
                      "--no-cache", "--cache-dir", str(tmp_path)]) == 0
         assert list(tmp_path.glob("*.json")) == []
+
+    def test_sweep_flow_variant_by_name(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--flow", "wlo-slp-lite", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wlo-slp-lite" in out and "1 computed" in out
+        # The variant cell persisted under its own key: re-running the
+        # default flow on the same slice computes, never aliases.
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 computed" in out
+
+    def test_sweep_rejects_unknown_flow_and_engine(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--no-cache", "--flow", "warp"]) == 1
+        assert "unknown flow" in capsys.readouterr().err
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--no-cache", "--wlo", "quantum"]) == 1
+        assert "unknown WLO engine" in capsys.readouterr().err

@@ -103,7 +103,7 @@ class TestWloFirstFlow:
             assert not fir_context.model.violates(result.spec, -25.0)
 
     def test_unknown_engine(self, fir_context):
-        with pytest.raises(FlowError, match="unknown WLO engine"):
+        with pytest.raises(WLOError, match="unknown WLO engine"):
             run_wlo_first(
                 fir_context.program, get_target("xentium"), -25.0,
                 fir_context, wlo="quantum",

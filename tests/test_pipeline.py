@@ -1,0 +1,418 @@
+"""Pass-pipeline architecture tests.
+
+The load-bearing contract: every paper flow run as a declared pipeline
+is **bit-identical** to its legacy hand-wired function — same spec,
+same cycles, same noise, same groups — across a kernel × target ×
+constraint smoke grid.  Plus the registry error paths and the per-pass
+cache reuse guarantees the sweep engine builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError, WLOError
+from repro.flows import run_float, run_wlo_first, run_wlo_slp
+from repro.pipeline import (
+    ANALYSIS_PASS_NAMES,
+    FlowSpec,
+    FlowState,
+    NoiseReportPass,
+    Pass,
+    PassCache,
+    Pipeline,
+    available_flows,
+    content_fingerprint,
+    declare_joint_flow,
+    execute_flow,
+    get_flow,
+    register_flow,
+    run_flow,
+)
+from repro.targets import get_target
+from repro.wlo.registry import (
+    available_wlo_engines,
+    get_wlo_engine,
+    register_wlo_engine,
+)
+
+
+def _group_shape(groups):
+    """Comparable structure of a per-block group dict."""
+    if groups is None:
+        return None
+    return {
+        name: [(g.kind, tuple(g.lanes), g.wl, g.size) for g in group_set]
+        for name, group_set in groups.items()
+    }
+
+
+def _assert_specs_identical(a, b):
+    assert np.array_equal(a.wl_vector(), b.wl_vector())
+    assert np.array_equal(a.iwl_vector(), b.iwl_vector())
+    assert np.array_equal(a.edge_wl_matrix(), b.edge_wl_matrix())
+
+
+# ----------------------------------------------------------------------
+# Golden parity: pipeline flows vs legacy flow functions.
+
+class TestLegacyParity:
+    """Pipeline declarations must reproduce the legacy functions
+    bit-for-bit on a kernel × target × constraint smoke grid."""
+
+    @pytest.mark.parametrize("target_name,constraint", [
+        ("xentium", -15.0), ("xentium", -45.0), ("vex-1", -25.0),
+    ])
+    def test_wlo_slp_fir(self, fir_context, target_name, constraint):
+        target = get_target(target_name)
+        legacy = run_wlo_slp(
+            fir_context.program, target, constraint, fir_context
+        )
+        piped = run_flow(
+            "wlo-slp", fir_context.program, target, constraint
+        )
+        assert piped.flow == legacy.flow == "wlo-slp"
+        assert piped.total_cycles == legacy.total_cycles
+        assert piped.noise_db == legacy.noise_db
+        assert _group_shape(piped.groups) == _group_shape(legacy.groups)
+        _assert_specs_identical(piped.spec, legacy.spec)
+
+    def test_wlo_slp_iir(self, iir_context):
+        target = get_target("st240")
+        legacy = run_wlo_slp(iir_context.program, target, -30.0, iir_context)
+        piped = run_flow("wlo-slp", iir_context.program, target, -30.0)
+        assert piped.total_cycles == legacy.total_cycles
+        assert piped.noise_db == legacy.noise_db
+        assert _group_shape(piped.groups) == _group_shape(legacy.groups)
+        _assert_specs_identical(piped.spec, legacy.spec)
+
+    @pytest.mark.parametrize("engine", ["tabu", "max-1", "min+1"])
+    def test_wlo_first_engines(self, fir_context, engine):
+        target = get_target("xentium")
+        legacy = run_wlo_first(
+            fir_context.program, target, -25.0, fir_context, wlo=engine
+        )
+        piped = run_flow(
+            "wlo-first", fir_context.program, target, -25.0, wlo=engine
+        )
+        assert piped.scalar.flow == legacy.scalar.flow
+        assert piped.simd.flow == legacy.simd.flow
+        assert piped.scalar.total_cycles == legacy.scalar.total_cycles
+        assert piped.simd.total_cycles == legacy.simd.total_cycles
+        assert piped.scalar.noise_db == legacy.scalar.noise_db
+        assert _group_shape(piped.simd.groups) == _group_shape(
+            legacy.simd.groups
+        )
+        _assert_specs_identical(piped.spec, legacy.spec)
+
+    @pytest.mark.parametrize("target_name", ["xentium", "st240", "vex-1"])
+    def test_float(self, fir_context, target_name):
+        target = get_target(target_name)
+        legacy = run_float(fir_context.program, target)
+        piped = run_flow("float", fir_context.program, target)
+        assert piped.flow == legacy.flow == "float"
+        assert piped.total_cycles == legacy.total_cycles
+        assert piped.spec is None and piped.noise_db is None
+
+    def test_twin_context_parity(self):
+        """Pipelines honour the analysis-twin trick like the legacy
+        context (same decisions from a reduced-trip-count twin)."""
+        from repro.flows import AnalysisContext
+        from repro.kernels import fir
+
+        program = fir(n_samples=96, n_taps=16)
+        twin = fir(n_samples=48, n_taps=16)
+        target = get_target("xentium")
+        ctx = AnalysisContext.build(program, twin)
+        legacy = run_wlo_slp(program, target, -30.0, ctx)
+        piped = run_flow(
+            "wlo-slp", program, target, -30.0, analysis_program=twin
+        )
+        assert piped.total_cycles == legacy.total_cycles
+        assert piped.noise_db == legacy.noise_db
+        _assert_specs_identical(piped.spec, legacy.spec)
+
+
+# ----------------------------------------------------------------------
+# New flow variants.
+
+class TestFlowVariants:
+    def test_variants_registered(self):
+        names = available_flows()
+        assert {"float", "wlo-first", "wlo-slp"} <= set(names)
+        assert {"wlo-first-greedy", "wlo-slp-lite"} <= set(names)
+
+    def test_greedy_variant_equals_parameterized_baseline(self, fir_context):
+        target = get_target("xentium")
+        variant = run_flow(
+            "wlo-first-greedy", fir_context.program, target, -25.0
+        )
+        explicit = run_flow(
+            "wlo-first", fir_context.program, target, -25.0, wlo="max-1"
+        )
+        assert variant.simd.total_cycles == explicit.simd.total_cycles
+        assert variant.simd.flow == "wlo-first-greedy/max-1/simd"
+
+    def test_lite_variant_equals_ablation_kwargs(self, fir_context):
+        target = get_target("xentium")
+        variant = run_flow("wlo-slp-lite", fir_context.program, target, -25.0)
+        legacy = run_wlo_slp(
+            fir_context.program, target, -25.0, fir_context,
+            harmonize=False, scaloptim=False,
+        )
+        assert variant.total_cycles == legacy.total_cycles
+        assert variant.noise_db == legacy.noise_db
+        _assert_specs_identical(variant.spec, legacy.spec)
+
+    def test_custom_declaration_is_one_line(self, fir_context):
+        declare_joint_flow(
+            "test-no-conflicts", "test variant", accuracy_conflicts=False,
+            overwrite=True,
+        )
+        result = run_flow(
+            "test-no-conflicts", fir_context.program, get_target("xentium"),
+            -25.0,
+        )
+        assert result.flow == "test-no-conflicts"
+        assert result.total_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Registry error paths.
+
+class TestFlowRegistry:
+    def test_unknown_flow_lists_available(self):
+        with pytest.raises(FlowError, match="unknown flow 'warp'"):
+            get_flow("warp")
+        with pytest.raises(FlowError, match="wlo-slp"):
+            get_flow("warp")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_flow("wlo-slp")
+        with pytest.raises(FlowError, match="already registered"):
+            register_flow(spec)
+        register_flow(spec, overwrite=True)  # explicit replace is fine
+
+    def test_unknown_override_rejected(self, small_fir):
+        with pytest.raises(FlowError, match="no parameter"):
+            run_flow(
+                "wlo-slp", small_fir, get_target("xentium"), -25.0,
+                engine="tabu",
+            )
+
+    def test_missing_constraint_rejected(self, small_fir):
+        with pytest.raises(FlowError, match="requires an accuracy constraint"):
+            run_flow("wlo-slp", small_fir, get_target("xentium"))
+
+    def test_case_insensitive_lookup(self):
+        assert get_flow("WLO-SLP") is get_flow("wlo-slp")
+
+
+class TestWloRegistry:
+    def test_unknown_engine_lists_available(self):
+        with pytest.raises(WLOError, match="unknown WLO engine 'quantum'"):
+            get_wlo_engine("quantum")
+        with pytest.raises(WLOError, match="tabu"):
+            get_wlo_engine("quantum")
+
+    def test_builtins_present(self):
+        assert {"tabu", "max-1", "min+1"} <= set(available_wlo_engines())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(WLOError, match="already registered"):
+            register_wlo_engine("tabu", get_wlo_engine("tabu"))
+
+    def test_custom_engine_runs_through_flows(self, fir_context):
+        register_wlo_engine(
+            "test-greedy", get_wlo_engine("max-1"), overwrite=True
+        )
+        target = get_target("xentium")
+        via_alias = run_flow(
+            "wlo-first", fir_context.program, target, -25.0,
+            wlo="test-greedy",
+        )
+        direct = run_flow(
+            "wlo-first", fir_context.program, target, -25.0, wlo="max-1"
+        )
+        assert via_alias.simd.total_cycles == direct.simd.total_cycles
+
+
+# ----------------------------------------------------------------------
+# Pipeline mechanics: validation, state, fingerprints.
+
+class TestPipelineMechanics:
+    def test_misordered_pass_list_rejected(self):
+        with pytest.raises(FlowError, match="no earlier pass writes"):
+            Pipeline((NoiseReportPass(),))
+
+    def test_pass_must_write_declared_artifacts(self, small_fir):
+        class Liar(Pass):
+            name = "liar"
+            reads = ("program",)
+            writes = ("something",)
+
+            def run(self, state):
+                return {"other": 1}
+
+        state = FlowState.seed(small_fir, get_target("xentium"))
+        with pytest.raises(FlowError, match="declared"):
+            Pipeline((Liar(),)).run(state, cache=PassCache())
+
+    def test_missing_artifact_error_names_available(self, small_fir):
+        state = FlowState.seed(small_fir, get_target("xentium"))
+        with pytest.raises(FlowError, match="no artifact 'spec'"):
+            state.get("spec")
+
+    def test_program_fingerprints_differ_by_content(self):
+        from repro.kernels import fir
+
+        base = content_fingerprint(fir(n_samples=64, n_taps=16))
+        longer = content_fingerprint(fir(n_samples=128, n_taps=16))
+        assert base != longer
+        assert base == content_fingerprint(fir(n_samples=64, n_taps=16))
+
+    def test_fingerprint_covers_coefficient_payloads(self):
+        from repro.kernels import fir
+
+        taps = 16
+        coeffs = np.linspace(-0.4, 0.4, taps)
+        a = content_fingerprint(fir(n_samples=64, n_taps=taps))
+        b = content_fingerprint(
+            fir(n_samples=64, n_taps=taps, coefficients=coeffs)
+        )
+        assert a != b
+
+    def test_no_fingerprint_for_derived_types(self):
+        with pytest.raises(TypeError, match="derived artifacts"):
+            content_fingerprint(object())
+
+    def test_constraint_free_flow_rejects_constraint_readers(self):
+        from repro.pipeline import LowerFloatPass, SchedulePass, WloPass
+
+        with pytest.raises(FlowError, match="constraint_db"):
+            Pipeline(
+                (LowerFloatPass(), SchedulePass("float_lowered"), WloPass()),
+                has_constraint=False,
+            )
+        # The same list is fine when a constraint seed will exist…
+        # (order check only; WloPass also needs spec/model upstream)
+        with pytest.raises(FlowError, match="spec"):
+            Pipeline(
+                (LowerFloatPass(), SchedulePass("float_lowered"), WloPass()),
+                has_constraint=True,
+            )
+
+    def test_tabu_config_honoured_case_insensitively(self, fir_context):
+        from repro.wlo import TabuConfig
+
+        target = get_target("xentium")
+        lower = run_wlo_first(
+            fir_context.program, target, -25.0, fir_context,
+            wlo="tabu", tabu_config=TabuConfig(max_iterations=2),
+        )
+        upper = run_wlo_first(
+            fir_context.program, target, -25.0, fir_context,
+            wlo="Tabu", tabu_config=TabuConfig(max_iterations=2),
+        )
+        assert (
+            upper.scalar.extra["wlo_stats"].iterations
+            == lower.scalar.extra["wlo_stats"].iterations
+            <= 2
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-pass caching: the sweep-speed contract.
+
+class TestPassCache:
+    def test_second_constraint_skips_all_analysis_passes(self, small_fir):
+        cache = PassCache()
+        target = get_target("xentium")
+        run_flow("wlo-slp", small_fir, target, -15.0, cache=cache)
+        for name in ANALYSIS_PASS_NAMES:
+            assert cache.executions(name) == 1
+        run_flow("wlo-slp", small_fir, target, -45.0, cache=cache)
+        for name in ANALYSIS_PASS_NAMES:
+            assert cache.executions(name) == 1  # zero re-executions
+            assert cache.hits[name] == 1
+
+    def test_analysis_prefix_shared_across_flows(self, small_fir):
+        cache = PassCache()
+        target = get_target("xentium")
+        run_flow("wlo-first", small_fir, target, -25.0, cache=cache)
+        run_flow("wlo-slp", small_fir, target, -25.0, cache=cache)
+        run_flow("wlo-slp-lite", small_fir, target, -25.0, cache=cache)
+        for name in ANALYSIS_PASS_NAMES:
+            assert cache.executions(name) == 1
+            assert cache.hits[name] == 2
+
+    def test_different_programs_never_alias(self, small_fir, small_conv):
+        cache = PassCache()
+        target = get_target("xentium")
+        run_flow("wlo-slp", small_fir, target, -15.0, cache=cache)
+        run_flow("wlo-slp", small_conv, target, -15.0, cache=cache)
+        for name in ANALYSIS_PASS_NAMES:
+            assert cache.executions(name) == 2
+            assert cache.hits.get(name, 0) == 0
+
+    def test_cached_rerun_is_bit_identical(self, small_fir):
+        cache = PassCache()
+        target = get_target("vex-1")
+        first = run_flow("wlo-slp", small_fir, target, -25.0, cache=cache)
+        second = run_flow("wlo-slp", small_fir, target, -25.0, cache=cache)
+        assert second.total_cycles == first.total_cycles
+        assert second.noise_db == first.noise_db
+        _assert_specs_identical(second.spec, first.spec)
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = PassCache(max_entries=2)
+        cache.store("k1", {"x": 1})
+        cache.store("k2", {"x": 2})
+        assert cache.lookup("p", "k1") == {"x": 1}  # touch: k2 is now LRU
+        cache.store("k3", {"x": 3})  # evicts k2
+        assert len(cache) == 2
+        assert cache.lookup("p", "k2") is None
+        assert cache.lookup("p", "k1") == {"x": 1}
+        assert cache.lookup("p", "k3") == {"x": 3}
+
+    def test_timings_report_sources(self, small_fir):
+        cache = PassCache()
+        target = get_target("xentium")
+        _, cold = execute_flow(
+            "wlo-slp", small_fir, target, -15.0, cache=cache
+        )
+        _, warm = execute_flow(
+            "wlo-slp", small_fir, target, -45.0, cache=cache
+        )
+        assert all(not t.cached for t in cold.timings)
+        cached = {t.name.split("[")[0] for t in warm.timings if t.cached}
+        assert set(ANALYSIS_PASS_NAMES) <= cached
+        report = warm.timing_report()
+        assert "range-analysis" in report and "cached" in report
+
+
+# ----------------------------------------------------------------------
+# FlowSpec structure introspection (what the sweep cache keys on).
+
+class TestFlowStructure:
+    def test_pass_names_resolve_parameters(self):
+        names = get_flow("wlo-first").pass_names(wlo="min+1")
+        assert "wlo[engine='min+1']" in names
+        assert names.index("range-analysis[method='auto']") == 0
+
+    def test_variants_have_distinct_structures(self):
+        assert (
+            get_flow("wlo-slp").pass_names()
+            != get_flow("wlo-slp-lite").pass_names()
+        )
+        assert (
+            get_flow("wlo-first").pass_names()
+            != get_flow("wlo-first-greedy").pass_names()
+        )
+
+    def test_spec_from_registry_is_frozen_declaration(self):
+        spec = get_flow("wlo-slp")
+        assert isinstance(spec, FlowSpec)
+        assert spec.needs_constraint
+        assert not get_flow("float").needs_constraint
