@@ -8,6 +8,7 @@ figures in a few minutes.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,25 @@ import pytest
 from repro.experiments import ExperimentRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_bench(name: str, record: dict) -> None:
+    """Merge one named benchmark record into BENCH_sweep.json.
+
+    Shared by every bench module that contributes to the per-PR perf
+    trajectory; records merge by name so re-running one bench never
+    clobbers the others.
+    """
+    path = RESULTS_DIR / "BENCH_sweep.json"
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, ValueError):
+        existing = {}
+    if not isinstance(existing, dict) or "benchmark" in existing:
+        existing = {}  # pre-PR-2 single-record format: start over
+    existing[name] = record
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"\n{json.dumps(record, indent=2)}\n[merged into {path}]")
 
 
 @pytest.fixture(scope="session")

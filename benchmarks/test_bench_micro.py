@@ -8,11 +8,14 @@ detection calls it O(candidates^2) times).
 
 from __future__ import annotations
 
+import platform
+import time
+
 import numpy as np
 import pytest
 
 from repro.fixedpoint import FixedPointInterpreter
-from repro.ir import Interpreter, build_dependence_graph
+from repro.ir import Interpreter, build_dependence_graph, get_backend
 from repro.codegen import lower_scalar_program, lower_simd_program
 from repro.scheduler import schedule_block
 from repro.slp import extract_candidates, initial_items
@@ -55,6 +58,73 @@ def test_fxp_interpreter_speed(runner, benchmark):
     interpreter = FixedPointInterpreter(program, spec)
     outputs = benchmark(interpreter.run, inputs)
     assert "y" in outputs
+
+
+def test_bench_sim_backend_throughput(runner, results_dir):
+    """Scalar vs batch simulation throughput (recorded per PR).
+
+    Runs the FIR analysis twin — the program every simulation-backed
+    validation executes — over one stimulus set through both backends,
+    float and fixed point.  The acceptance bar: the batch backend is
+    bit-identical and at least 5x faster on both executions.
+
+    Deliberately free of the pytest-benchmark fixture so CI can
+    smoke-run it with a bare pytest install.
+    """
+    from conftest import record_bench
+
+    context = runner.context("fir")
+    program = context.analysis_program
+    spec = context.fresh_spec()
+    rng = np.random.default_rng(0)
+    stimuli = [
+        {
+            decl.name: rng.uniform(*decl.value_range, size=decl.shape)
+            for decl in program.input_arrays()
+        }
+        for _ in range(8)
+    ]
+    scalar = get_backend("scalar")
+    batch = get_backend("batch")
+    batch.run_float(program, stimuli[:1])  # warm the vectorization plan
+
+    started = time.perf_counter()
+    scalar_float = scalar.run_float(program, stimuli)
+    scalar_float_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    scalar_fixed = scalar.run_fixed(program, spec, stimuli)
+    scalar_fixed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch_float = batch.run_float(program, stimuli)
+    batch_float_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    batch_fixed = batch.run_fixed(program, spec, stimuli)
+    batch_fixed_seconds = time.perf_counter() - started
+
+    # Bar 1: not a single bit may differ.
+    for ref, got in zip(scalar_float + scalar_fixed,
+                        batch_float + batch_fixed):
+        for name in ref:
+            assert np.array_equal(ref[name], got[name])
+
+    float_speedup = scalar_float_seconds / batch_float_seconds
+    fixed_speedup = scalar_fixed_seconds / batch_fixed_seconds
+    record_bench("sim_backend_micro", {
+        "kernel": "fir",
+        "n_samples": program.arrays["y"].shape[0],
+        "n_stimuli": len(stimuli),
+        "python": platform.python_version(),
+        "scalar_float_seconds": round(scalar_float_seconds, 4),
+        "batch_float_seconds": round(batch_float_seconds, 4),
+        "scalar_fixed_seconds": round(scalar_fixed_seconds, 4),
+        "batch_fixed_seconds": round(batch_fixed_seconds, 4),
+        "float_speedup": round(float_speedup, 1),
+        "fixed_speedup": round(fixed_speedup, 1),
+    })
+    # Bar 2: the batch backend must pay for itself — >= 5x on both.
+    assert float_speedup >= 5.0
+    assert fixed_speedup >= 5.0
 
 
 def test_scheduler_speed(runner, benchmark):

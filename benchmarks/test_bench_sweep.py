@@ -15,7 +15,6 @@ trajectory for the engine:
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import time
@@ -24,7 +23,7 @@ from repro.experiments import KernelConfig, SweepExecutor, SweepPlan
 from repro.pipeline import ANALYSIS_PASS_NAMES, PassCache, run_flow
 from repro.targets import get_target
 
-from conftest import RESULTS_DIR
+from conftest import record_bench as _record
 
 BENCH_CONFIG = KernelConfig(
     n_samples=256, analysis_samples=96, image_size=24, analysis_image_size=18
@@ -35,20 +34,6 @@ BENCH_TARGETS = ("xentium", "vex-1")
 # Always exercise the pool (≥2 workers) so the bit-identical check
 # covers the parallel path even on single-core runners.
 BENCH_JOBS = max(2, min(4, os.cpu_count() or 1))
-
-
-def _record(name: str, record: dict) -> None:
-    """Merge one benchmark record into BENCH_sweep.json by name."""
-    path = RESULTS_DIR / "BENCH_sweep.json"
-    try:
-        existing = json.loads(path.read_text())
-    except (OSError, ValueError):
-        existing = {}
-    if not isinstance(existing, dict) or "benchmark" in existing:
-        existing = {}  # pre-PR-2 single-record format: start over
-    existing[name] = record
-    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
-    print(f"\n{json.dumps(record, indent=2)}\n[merged into {path}]")
 
 
 def test_bench_sweep_serial_vs_parallel(results_dir):

@@ -5,12 +5,18 @@ Builds a small unrolled dot-product kernel, resolves the paper's
 WLO-SLP flow by name through the flow registry, runs it against the
 XENTIUM model at a -30 dB output-noise budget, and shows everything
 the flow produced: the fixed-point specification, the SIMD groups, the
-cycle count, and generated C.  (``available_flows()`` lists every
-registered flow — the CLI equivalent is ``repro flows``.)
+cycle count, generated C — and a bit-accurate simulation check of the
+optimized spec through the vectorized ``batch`` evaluation backend
+(bit-identical to the ``scalar`` reference and one to two orders of
+magnitude faster on the benchmark kernels — see ``sim_backend_micro``
+in benchmarks/results/BENCH_sweep.json for the numbers measured on
+this machine; ``repro flows`` lists the backends, and every
+simulation-backed CLI command accepts ``--sim-backend``).
 
 Run:  python examples/quickstart.py
 """
 
+from repro.accuracy import SimulationAccuracyEvaluator
 from repro.codegen import emit_fixed_point_c
 from repro.flows import speedup
 from repro.kernels import dot_product
@@ -42,6 +48,18 @@ def main() -> None:
                 f"  {block_name}: {group.kind.value} x{group.size} lanes "
                 f"{list(group.lanes)} @ {group.wl}-bit"
             )
+
+    # Validate the optimized spec by bit-accurate simulation.  The
+    # "batch" backend (the default) evaluates all stimuli as array
+    # lanes in one pass — bit-identical to "scalar", much faster.
+    simulator = SimulationAccuracyEvaluator(
+        program, n_stimuli=8, backend="batch"
+    )
+    print(
+        f"\nMeasured output noise {simulator.noise_db(result.spec):.1f} dB "
+        f"(analytical model: {result.noise_db:.1f} dB, "
+        f"budget -30 dB, batch backend over 8 stimuli)"
+    )
 
     float_result = run_flow("float", program, target)
     print(

@@ -3,9 +3,15 @@
 The ground-truth counterpart of :class:`~repro.accuracy.analytical.AccuracyModel`:
 run the bit-accurate fixed-point interpreter against the float
 reference over representative stimuli and measure the output error
-power.  Orders of magnitude slower than the analytical model, it is
-used to *validate* specs (every flow result is checked against it in
-the tests) rather than inside optimization loops.
+power.  Slower than the analytical model, it is used to *validate*
+specs (every flow result is checked against it in the tests) rather
+than inside optimization loops.
+
+Execution is delegated to an :class:`~repro.ir.backend.EvaluationBackend`
+resolved by name: the default ``batch`` backend evaluates every
+stimulus (and every independent loop) as array lanes in one pass —
+bit-identical to the ``scalar`` reference, an order of magnitude
+faster (see ``benchmarks/test_bench_micro.py``).
 """
 
 from __future__ import annotations
@@ -13,9 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accuracy.metrics import measured_noise_power
-from repro.fixedpoint.fxpinterp import FixedPointInterpreter, FxpConfig
+from repro.errors import AccuracyError
+from repro.fixedpoint.fxpinterp import FxpConfig
 from repro.fixedpoint.spec import FixedPointSpec
-from repro.ir.interp import Interpreter
+from repro.ir.backend import DEFAULT_BACKEND, get_backend
 from repro.ir.program import Program
 from repro.utils import power_to_db
 
@@ -23,7 +30,13 @@ __all__ = ["SimulationAccuracyEvaluator"]
 
 
 class SimulationAccuracyEvaluator:
-    """Measure a spec's output noise power by bit-accurate execution."""
+    """Measure a spec's output noise power by bit-accurate execution.
+
+    ``n_stimuli`` and ``seed`` control the stimulus set (the CLI
+    exposes them as ``--stimuli`` / ``--sim-seed``); ``backend`` names
+    the evaluation backend executing both the float references and
+    every fixed-point measurement.
+    """
 
     def __init__(
         self,
@@ -32,10 +45,16 @@ class SimulationAccuracyEvaluator:
         seed: int = 424242,
         config: FxpConfig | None = None,
         discard: int = 0,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
+        if n_stimuli < 1:
+            raise AccuracyError(
+                f"simulation needs at least one stimulus, got {n_stimuli}"
+            )
         self.program = program
         self.config = config or FxpConfig()
         self.discard = discard
+        self.backend = get_backend(backend)
         rng = np.random.default_rng(seed)
         self.stimuli: list[dict[str, np.ndarray]] = []
         for _ in range(n_stimuli):
@@ -44,17 +63,17 @@ class SimulationAccuracyEvaluator:
                 lo, hi = decl.value_range  # type: ignore[misc]
                 stimulus[decl.name] = rng.uniform(lo, hi, size=decl.shape)
             self.stimuli.append(stimulus)
-        interpreter = Interpreter(program)
-        self.references = [interpreter.run(s) for s in self.stimuli]
+        self.references = self.backend.run_float(program, self.stimuli)
 
     # ------------------------------------------------------------------
     def noise_power(self, spec: FixedPointSpec) -> float:
         """Average measured output noise power over the stimuli."""
+        measured = self.backend.run_fixed(
+            self.program, spec, self.stimuli, self.config
+        )
         total = 0.0
-        for stimulus, reference in zip(self.stimuli, self.references):
-            fxp = FixedPointInterpreter(self.program, spec, self.config)
-            measured = fxp.run(stimulus)
-            total += measured_noise_power(reference, measured, self.discard)
+        for reference, outputs in zip(self.references, measured):
+            total += measured_noise_power(reference, outputs, self.discard)
         return total / len(self.stimuli)
 
     def noise_db(self, spec: FixedPointSpec) -> float:

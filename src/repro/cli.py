@@ -3,9 +3,11 @@
 Usage examples::
 
     repro targets
+    repro kernels
     repro flows
     repro run --kernel fir --target xentium --constraint -25
     repro run --kernel fir --flow wlo-first --wlo min+1 --timings
+    repro run --kernel fir --sim-backend scalar
     repro table1 --out results/
     repro fig4 --kernels fir --targets xentium vex-1
     repro fig6
@@ -13,15 +15,21 @@ Usage examples::
     repro sweep --jobs 8
     repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
     repro sweep --flow wlo-slp-lite --wlo max-1
+    repro validate --stimuli 4 --sim-seed 7 --sim-backend batch
     repro codegen --kernel fir --target xentium --constraint -25 --simd
 
-Flows and WLO engines are resolved by name through their registries
-(:mod:`repro.pipeline`, :mod:`repro.wlo.registry`); ``repro flows``
-lists both.  The sweep-backed commands (``sweep``, ``fig4``,
-``table1``, ``fig6``, ``ablations``) share the engine flags ``--jobs``
+Kernels, flows, WLO engines and simulation backends are resolved by
+name through their registries (:mod:`repro.kernels`,
+:mod:`repro.pipeline`, :mod:`repro.wlo.registry`,
+:mod:`repro.ir.backend`); ``repro kernels`` and ``repro flows`` list
+them.  The sweep-backed commands (``sweep``, ``fig4``, ``table1``,
+``fig6``, ``ablations``) share the engine flags ``--jobs``
 (process-pool width), ``--cache-dir`` (persistent result cache,
 default ``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and
-``--no-cache``.
+``--no-cache``.  Simulation-backed commands take ``--sim-backend
+{scalar,batch}`` (``batch``, the default, is bit-identical and an
+order of magnitude faster) and ``validate`` additionally ``--stimuli``
+/ ``--sim-seed``.
 """
 
 from __future__ import annotations
@@ -47,8 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("targets", help="list available processor models")
 
+    sub.add_parser("kernels", help="list available benchmark kernels")
+
     sub.add_parser(
-        "flows", help="list registered flows (pass pipelines) and WLO engines"
+        "flows",
+        help="list registered flows (pass pipelines), WLO engines and "
+             "simulation backends",
     )
 
     run = sub.add_parser("run", help="run one flow on one kernel")
@@ -68,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="print the per-pass wall-time report after the run",
     )
+    _sim_backend_arg(run)
 
     fig4 = sub.add_parser("fig4", help="regenerate paper Fig. 4")
     fig4.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
@@ -111,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="tabulate analytical vs bit-accurate measured noise",
     )
     val.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
+    val.add_argument(
+        "--stimuli", type=int, default=2, metavar="N",
+        help="random stimuli per kernel simulation (default 2)",
+    )
+    val.add_argument(
+        "--sim-seed", type=int, default=424242, metavar="SEED",
+        help="random seed of the stimulus set (default 424242)",
+    )
+    _sim_backend_arg(val)
     _grid_and_out_args(val, with_grid=False)
 
     gen = sub.add_parser("codegen", help="emit fixed-point C code")
@@ -123,9 +145,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _kernel_target_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--kernel", default="fir",
-                        choices=("fir", "iir", "conv", "dot", "sad"))
+    # Kernel names are validated through the kernel catalog at dispatch
+    # time (`repro kernels` lists them), so unknown names produce the
+    # library's error message with the available alternatives.
+    parser.add_argument("--kernel", default="fir", metavar="KERNEL",
+                        help="benchmark kernel (see `repro kernels`)")
     parser.add_argument("--target", default="xentium")
+
+
+def _sim_backend_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.ir.backend import available_backends
+
+    parser.add_argument(
+        "--sim-backend", default=None, metavar="BACKEND",
+        choices=available_backends(),
+        help="evaluation backend for simulation-based steps "
+             f"({'/'.join(available_backends())}; default batch — "
+             "bit-identical to scalar, vectorized)",
+    )
 
 
 def _grid_and_out_args(
@@ -168,7 +205,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(get_target(name).describe())
         return 0
 
+    if args.command == "kernels":
+        from repro.kernels import kernel_catalog
+
+        catalog = kernel_catalog()
+        width = max(len(name) for name in catalog)
+        for name in sorted(catalog):
+            _factory, description = catalog[name]
+            print(f"{name:<{width}}  {description}")
+        return 0
+
     if args.command == "flows":
+        from repro.ir.backend import available_backends, get_backend
         from repro.pipeline import available_flows, get_flow
         from repro.wlo.registry import available_wlo_engines
 
@@ -178,6 +226,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"{name:<{width}}  {spec.description}")
             print(f"{'':<{width}}    passes: {' -> '.join(spec.pass_names())}")
         print(f"\nWLO engines: {', '.join(available_wlo_engines())}")
+        backends = ", ".join(
+            f"{name} ({get_backend(name).description})"
+            for name in available_backends()
+        )
+        print(f"Simulation backends: {backends}")
         return 0
 
     if args.command == "run":
@@ -217,7 +270,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         _export(args, fig6_table(runner, grid=grid), "fig6")
         return 0
     if args.command == "validate":
-        table = validation_table(runner, tuple(args.kernels))
+        from repro.ir.backend import DEFAULT_BACKEND
+
+        table = validation_table(
+            runner, tuple(args.kernels), n_stimuli=args.stimuli,
+            seed=args.sim_seed, backend=args.sim_backend or DEFAULT_BACKEND,
+        )
         print(table.render())
         _export(args, table, "model_validation")
         return 0
@@ -312,6 +370,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.wlo is not None:
         get_wlo_engine(args.wlo)  # validates the engine, listing engines
         overrides["wlo"] = args.wlo
+    if args.sim_backend is not None and "sim_backend" in spec.params:
+        # Flows without simulation-backed passes (e.g. float) take no
+        # backend; the flag is a no-op for them rather than an error.
+        overrides["sim_backend"] = args.sim_backend
     result, state = execute_flow(
         args.flow, program, target,
         args.constraint if spec.needs_constraint else None,

@@ -12,6 +12,7 @@ __all__ = [
     "IRError",
     "ValidationError",
     "InterpreterError",
+    "BackendError",
     "FixedPointError",
     "OverflowPolicyError",
     "RangeAnalysisError",
@@ -39,6 +40,10 @@ class ValidationError(IRError):
 
 class InterpreterError(ReproError):
     """Runtime failure while interpreting a program."""
+
+
+class BackendError(ReproError):
+    """Unknown or misused evaluation backend."""
 
 
 class FixedPointError(ReproError):

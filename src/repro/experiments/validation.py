@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.accuracy import SimulationAccuracyEvaluator
 from repro.experiments.runner import ExperimentRunner
+from repro.ir.backend import DEFAULT_BACKEND
 from repro.report.tables import TextTable
 
 __all__ = ["validation_table"]
@@ -29,12 +30,16 @@ def validation_table(
     runner: ExperimentRunner,
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     n_stimuli: int = 2,
+    seed: int = 424242,
+    backend: str = DEFAULT_BACKEND,
 ) -> TextTable:
     """Analytical vs measured output noise across uniform specs.
 
     Uses the engine's process-wide analysis contexts (via
     ``runner.context``), so a validation pass after a figure sweep
-    costs only the bit-accurate simulations.
+    costs only the bit-accurate simulations.  ``n_stimuli``, ``seed``
+    and ``backend`` parameterize those simulations (the CLI flags
+    ``--stimuli`` / ``--sim-seed`` / ``--sim-backend``).
     """
     table = TextTable(
         headers=("kernel", "word_length", "analytical_db", "measured_db",
@@ -44,8 +49,8 @@ def validation_table(
     for kernel in kernels:
         context = runner.context(kernel)
         evaluator = SimulationAccuracyEvaluator(
-            context.analysis_program, n_stimuli=n_stimuli,
-            discard=64 if kernel == "iir" else 0,
+            context.analysis_program, n_stimuli=n_stimuli, seed=seed,
+            discard=64 if kernel == "iir" else 0, backend=backend,
         )
         for wl in _SWEEPS.get(kernel, (32, 16)):
             spec = context.fresh_spec()

@@ -5,9 +5,14 @@ IWL determination, the journaled fixed-point specification and the
 bit-accurate interpreter.
 """
 
+from repro.fixedpoint.fxpbatch import (
+    BatchFixedPointInterpreter,
+    run_fixed_point_batch,
+)
 from repro.fixedpoint.fxpinterp import (
     FixedPointInterpreter,
     FxpConfig,
+    check_spec_compatible,
     run_fixed_point,
 )
 from repro.fixedpoint.interval import Interval
@@ -17,10 +22,14 @@ from repro.fixedpoint.quantize import (
     OverflowMode,
     QuantMode,
     apply_overflow,
+    apply_overflow_array,
     float_to_mantissa,
+    float_to_mantissa_array,
     mantissa_to_float,
+    mantissa_to_float_array,
     quantize_value,
     requantize,
+    requantize_array,
     saturate,
     wrap,
 )
@@ -33,6 +42,7 @@ from repro.fixedpoint.range_analysis import (
 from repro.fixedpoint.spec import NO_NARROW, FixedPointSpec, SlotMap
 
 __all__ = [
+    "BatchFixedPointInterpreter",
     "FixedPointInterpreter",
     "FixedPointSpec",
     "FxpConfig",
@@ -45,15 +55,21 @@ __all__ = [
     "SlotMap",
     "analyze_ranges",
     "apply_overflow",
+    "apply_overflow_array",
     "assign_iwls",
+    "check_spec_compatible",
     "float_to_mantissa",
+    "float_to_mantissa_array",
     "interval_ranges",
     "iwl_for_interval",
     "iwl_for_magnitude",
     "mantissa_to_float",
+    "mantissa_to_float_array",
     "quantize_value",
     "requantize",
+    "requantize_array",
     "run_fixed_point",
+    "run_fixed_point_batch",
     "saturate",
     "simulation_ranges",
     "wrap",

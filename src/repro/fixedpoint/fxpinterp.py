@@ -40,7 +40,28 @@ from repro.ir.optypes import OpKind
 from repro.ir.program import BlockRef, LoopNode, Program
 from repro.ir.symbols import SymbolKind
 
-__all__ = ["FxpConfig", "FixedPointInterpreter", "run_fixed_point"]
+__all__ = [
+    "FxpConfig",
+    "FixedPointInterpreter",
+    "check_spec_compatible",
+    "run_fixed_point",
+]
+
+
+def check_spec_compatible(program: Program, spec: FixedPointSpec) -> None:
+    """Reject specs built for a structurally different program.
+
+    The spec may come from an analysis twin of the same kernel
+    (identical ops and symbols, shorter loops) — see AnalysisContext
+    in repro.flows.common.  Shared by the scalar and batch executors.
+    """
+    twin = spec.slotmap.program
+    if twin is not program and (
+        twin.n_ops != program.n_ops
+        or sorted(twin.arrays) != sorted(program.arrays)
+        or sorted(twin.variables) != sorted(program.variables)
+    ):
+        raise InterpreterError("spec was built for a different program")
 
 
 @dataclass(frozen=True)
@@ -67,16 +88,7 @@ class FixedPointInterpreter:
         spec: FixedPointSpec,
         config: FxpConfig | None = None,
     ) -> None:
-        # Structural compatibility: the spec may come from an analysis
-        # twin of the same kernel (identical ops and symbols, shorter
-        # loops) — see AnalysisContext in repro.flows.common.
-        twin = spec.slotmap.program
-        if twin is not program and (
-            twin.n_ops != program.n_ops
-            or sorted(twin.arrays) != sorted(program.arrays)
-            or sorted(twin.variables) != sorted(program.variables)
-        ):
-            raise InterpreterError("spec was built for a different program")
+        check_spec_compatible(program, spec)
         self.program = program
         self.spec = spec
         self.config = config or FxpConfig()

@@ -1,10 +1,16 @@
 """Integer-level quantization primitives.
 
 These are the bit-exact building blocks shared by the fixed-point
-interpreter and the generated C semantics: requantization between
+interpreters and the generated C semantics: requantization between
 fractional precisions, two's complement wrap, and saturation.  All
 mantissas are Python ints (arbitrary precision), so intermediate
 products never overflow the host.
+
+The ``*_array`` variants apply the same discipline to whole arrays of
+mantissas at once (``dtype=object`` ndarrays holding Python ints, so
+exactness is preserved); they are the per-op workhorses of the batch
+fixed-point interpreter (:mod:`repro.fixedpoint.fxpbatch`) and are
+bit-identical to mapping their scalar counterpart over every element.
 """
 
 from __future__ import annotations
@@ -12,17 +18,23 @@ from __future__ import annotations
 import enum
 import math
 
+import numpy as np
+
 from repro.errors import FixedPointError, OverflowPolicyError
 
 __all__ = [
     "QuantMode",
     "OverflowMode",
     "requantize",
+    "requantize_array",
     "wrap",
     "saturate",
     "apply_overflow",
+    "apply_overflow_array",
     "float_to_mantissa",
+    "float_to_mantissa_array",
     "mantissa_to_float",
+    "mantissa_to_float_array",
     "quantize_value",
 ]
 
@@ -108,6 +120,77 @@ def float_to_mantissa(value: float, fwl: int, mode: QuantMode) -> int:
 def mantissa_to_float(mantissa: int, fwl: int) -> float:
     """The real value represented by ``mantissa`` at ``fwl``."""
     return mantissa * (2.0 ** -fwl)
+
+
+# ----------------------------------------------------------------------
+# Array variants (object-dtype ndarrays of Python ints): the elementwise
+# semantics of every operation below are exactly the scalar function's —
+# Python's arbitrary-precision operators applied lane by lane.
+
+def requantize_array(mantissas, f_from: int, f_to: int, mode: QuantMode):
+    """Vector :func:`requantize`: object ndarray (or scalar int) in/out."""
+    if f_to >= f_from:
+        return mantissas << (f_to - f_from)
+    shift = f_from - f_to
+    if mode is QuantMode.ROUND:
+        return (mantissas + (1 << (shift - 1))) >> shift
+    return mantissas >> shift
+
+
+def apply_overflow_array(mantissas, wl: int, mode: OverflowMode):
+    """Vector :func:`apply_overflow`."""
+    if not isinstance(mantissas, np.ndarray):
+        # A plain Python int (e.g. a constant chain): keep it exact —
+        # np.where would narrow it to a fixed-width numpy integer.
+        return apply_overflow(mantissas, wl, mode)
+    if wl < 1:
+        raise FixedPointError(f"word length must be >= 1, got {wl}")
+    span = 1 << wl
+
+    def wrap_fold(values):
+        low_bits = values & (span - 1)
+        return np.where(low_bits >= (span >> 1), low_bits - span, low_bits)
+
+    if mode is OverflowMode.WRAP:
+        return wrap_fold(mantissas)
+    if mode is OverflowMode.SATURATE:
+        lo = -(span >> 1)
+        hi = (span >> 1) - 1
+        return np.where(mantissas < lo, lo,
+                        np.where(mantissas > hi, hi, mantissas))
+    if np.any(wrap_fold(mantissas) != mantissas):
+        raise OverflowPolicyError(
+            f"mantissa array does not fit {wl} bits"
+        )
+    return mantissas
+
+
+def float_to_mantissa_array(values, fwl: int, mode: QuantMode) -> np.ndarray:
+    """Vector :func:`float_to_mantissa`: float64 in, object ints out.
+
+    The scaling and the +0.5 rounding offset are elementwise float64
+    operations (identical to the scalar path); ``np.floor`` of a float
+    is exact, so the int conversion below reproduces ``math.floor``
+    bit-for-bit.  Magnitudes beyond int64 fall back to per-element
+    ``math.floor`` (arbitrary precision).
+    """
+    scaled = np.asarray(values, dtype=np.float64) * (2.0 ** fwl)
+    if mode is QuantMode.ROUND:
+        scaled = scaled + 0.5
+    floored = np.floor(scaled)
+    if np.all(np.abs(floored) < 2.0 ** 62):
+        return floored.astype(np.int64).astype(object)
+    flat = np.array([math.floor(v) for v in scaled.flat], dtype=object)
+    return flat.reshape(scaled.shape)
+
+
+def mantissa_to_float_array(mantissas, fwl: int) -> np.ndarray:
+    """Vector :func:`mantissa_to_float`: object ints in, float64 out."""
+    # Elementwise Python int * float — the identical operation the
+    # scalar function performs (``mantissa * 2.0 ** -fwl``).
+    return (np.asarray(mantissas, dtype=object) * (2.0 ** -fwl)).astype(
+        np.float64
+    )
 
 
 def quantize_value(value: float, fwl: int, mode: QuantMode) -> float:

@@ -26,7 +26,7 @@ import numpy as np
 from repro.errors import RangeAnalysisError
 from repro.fixedpoint.interval import Interval
 from repro.fixedpoint.spec import SlotMap
-from repro.ir.interp import Interpreter
+from repro.ir.backend import DEFAULT_BACKEND, get_backend
 from repro.ir.ops import Operation
 from repro.ir.optypes import OpKind
 from repro.ir.program import BlockRef, LoopNode, Program
@@ -99,28 +99,35 @@ def simulation_ranges(
     n_random: int = 6,
     margin: float = 0.5,
     seed: int = 2017,
+    backend: str = DEFAULT_BACKEND,
 ) -> RangeResult:
     """Measure per-slot ranges by executing representative inputs.
 
     ``margin`` widens every measured interval relatively (0.5 = half
     again), compensating for extremes the stimuli missed; it costs at
-    most one integer bit.
+    most one integer bit.  ``backend`` names the evaluation backend the
+    stimuli run on; min/max observation makes every backend's ranges
+    identical, so it is purely a throughput knob.
     """
     slotmap = slotmap or SlotMap(program)
     rng = np.random.default_rng(seed)
     ranges: dict[int, Interval] = {}
 
-    def observe(opid: int, value: float) -> None:
+    def observe(opid: int, values) -> None:
+        # ``values`` is one scalar (scalar backend) or the whole value
+        # array of the op (batch backend); only min/max matter.
+        vmin = float(np.min(values))
+        vmax = float(np.max(values))
         root = slotmap.root_of(opid)
         found = ranges.get(root)
         if found is None:
-            ranges[root] = Interval.point(value)
-        elif not found.contains(value):
-            ranges[root] = found.join(Interval.point(value))
+            ranges[root] = Interval(vmin, vmax)
+        elif not (found.contains(vmin) and found.contains(vmax)):
+            ranges[root] = found.join(Interval(vmin, vmax))
 
-    interp = Interpreter(program)
-    for stimulus in _stimulus_set(program, n_random, rng):
-        interp.run(stimulus, range_observer=observe)
+    get_backend(backend).run_float(
+        program, _stimulus_set(program, n_random, rng), range_probe=observe
+    )
 
     _seed_symbol_ranges(program, slotmap, ranges)
     if margin:
@@ -337,21 +344,23 @@ def analyze_ranges(
     program: Program,
     slotmap: SlotMap | None = None,
     method: str = "auto",
+    backend: str = DEFAULT_BACKEND,
     **kwargs,
 ) -> RangeResult:
     """Range analysis entry point.
 
     ``method`` is ``"interval"``, ``"simulation"`` or ``"auto"``
-    (interval with simulation fallback on divergence).
+    (interval with simulation fallback on divergence); ``backend``
+    names the evaluation backend of the simulation path.
     """
     slotmap = slotmap or SlotMap(program)
     if method == "interval":
         return interval_ranges(program, slotmap, **kwargs)
     if method == "simulation":
-        return simulation_ranges(program, slotmap, **kwargs)
+        return simulation_ranges(program, slotmap, backend=backend, **kwargs)
     if method != "auto":
         raise RangeAnalysisError(f"unknown range analysis method {method!r}")
     try:
         return interval_ranges(program, slotmap)
     except RangeAnalysisError:
-        return simulation_ranges(program, slotmap, **kwargs)
+        return simulation_ranges(program, slotmap, backend=backend, **kwargs)

@@ -5,6 +5,16 @@ over basic blocks of scalar operations with affine array subscripts.
 See :mod:`repro.ir.builder` for the construction API.
 """
 
+from repro.ir.backend import (
+    DEFAULT_BACKEND,
+    BatchBackend,
+    EvaluationBackend,
+    ScalarBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.ir.batch import BatchInterpreter, run_program_batch
 from repro.ir.block import BasicBlock
 from repro.ir.builder import ProgramBuilder, Val
 from repro.ir.deps import DependenceGraph, build_dependence_graph, may_alias
@@ -24,12 +34,19 @@ from repro.ir.printer import format_block, format_op, format_program
 from repro.ir.program import BlockRef, LoopNode, Program
 from repro.ir.symbols import ArrayDecl, SymbolKind, VarDecl
 from repro.ir.validate import validate_program
+from repro.ir.vectorize import VectorPlan, build_vector_plan, vector_plan
 
 __all__ = [
     "AffineIndex",
     "ArrayDecl",
     "BasicBlock",
+    "BatchBackend",
+    "BatchInterpreter",
     "BlockRef",
+    "DEFAULT_BACKEND",
+    "EvaluationBackend",
+    "ScalarBackend",
+    "VectorPlan",
     "DependenceGraph",
     "ExecutionTrace",
     "Interpreter",
@@ -47,8 +64,14 @@ __all__ = [
     "MEMORY_KINDS",
     "SIMDIZABLE_KINDS",
     "UNARY_KINDS",
+    "available_backends",
     "build_dependence_graph",
+    "build_vector_plan",
     "format_block",
+    "get_backend",
+    "register_backend",
+    "run_program_batch",
+    "vector_plan",
     "format_op",
     "format_program",
     "loop_index",

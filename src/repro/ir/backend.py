@@ -1,0 +1,158 @@
+"""Pluggable evaluation backends for simulation-based analyses.
+
+Everything that *executes* programs over stimuli — the simulation
+accuracy evaluator, simulation-based range analysis, the validation
+experiment — goes through an :class:`EvaluationBackend` resolved by
+name from this registry, mirroring how flows, WLO engines and targets
+are resolved.  The evaluation *semantics* are fixed; only the executor
+is swappable:
+
+* ``scalar`` — the reference executors
+  (:class:`~repro.ir.interp.Interpreter`,
+  :class:`~repro.fixedpoint.fxpinterp.FixedPointInterpreter`), one
+  stimulus at a time, one Python step per operation instance.
+* ``batch`` — the vectorized executors (:mod:`repro.ir.batch`,
+  :mod:`repro.fixedpoint.fxpbatch`): all stimuli at once, independent
+  loops as array lanes.  Bit-identical to ``scalar`` by construction
+  and pinned by golden tests; the default everywhere.
+
+Both entry points take a *sequence* of stimuli and return one output
+dict per stimulus, so callers are backend-agnostic.  ``range_probe``
+(for simulation range analysis) receives ``(static op id, values)``
+where ``values`` is a scalar under ``scalar`` and an array under
+``batch`` — min/max observation handles either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fixedpoint.fxpinterp import FxpConfig
+    from repro.fixedpoint.spec import FixedPointSpec
+    from repro.ir.program import Program
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BatchBackend",
+    "EvaluationBackend",
+    "ScalarBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: The backend simulation-based analyses use unless told otherwise.
+DEFAULT_BACKEND = "batch"
+
+Stimuli = Sequence[Mapping[str, np.ndarray]]
+RangeProbe = Callable[[int, object], None]
+
+
+class EvaluationBackend:
+    """One way of executing programs over a set of stimuli."""
+
+    name: str = "backend"
+    description: str = ""
+
+    def run_float(
+        self,
+        program: "Program",
+        stimuli: Stimuli,
+        range_probe: RangeProbe | None = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Float64 reference execution; one output dict per stimulus."""
+        raise NotImplementedError
+
+    def run_fixed(
+        self,
+        program: "Program",
+        spec: "FixedPointSpec",
+        stimuli: Stimuli,
+        config: "FxpConfig | None" = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Bit-accurate fixed-point execution (dequantized outputs)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ScalarBackend(EvaluationBackend):
+    """The reference executors, one stimulus and one value at a time."""
+
+    name = "scalar"
+    description = "per-op scalar reference interpreters (ground truth)"
+
+    def run_float(self, program, stimuli, range_probe=None):
+        from repro.ir.interp import Interpreter
+
+        interpreter = Interpreter(program)
+        return [
+            interpreter.run(stimulus, range_observer=range_probe)
+            for stimulus in stimuli
+        ]
+
+    def run_fixed(self, program, spec, stimuli, config=None):
+        from repro.fixedpoint.fxpinterp import FixedPointInterpreter
+
+        interpreter = FixedPointInterpreter(program, spec, config)
+        return [interpreter.run(stimulus) for stimulus in stimuli]
+
+
+class BatchBackend(EvaluationBackend):
+    """Vectorized executors: all stimuli (and independent loops) at once."""
+
+    name = "batch"
+    description = "vectorized array evaluation, bit-identical to scalar"
+
+    def run_float(self, program, stimuli, range_probe=None):
+        from repro.ir.batch import BatchInterpreter
+
+        return BatchInterpreter(program).run(stimuli, range_probe=range_probe)
+
+    def run_fixed(self, program, spec, stimuli, config=None):
+        from repro.fixedpoint.fxpbatch import BatchFixedPointInterpreter
+
+        return BatchFixedPointInterpreter(program, spec, config).run(stimuli)
+
+
+_BACKENDS: dict[str, EvaluationBackend] = {}
+
+
+def register_backend(
+    backend: EvaluationBackend, *, overwrite: bool = False
+) -> EvaluationBackend:
+    """Register a backend instance; returns it (decorator-friendly)."""
+    key = backend.name.lower()
+    if key in _BACKENDS and not overwrite:
+        raise BackendError(
+            f"backend {backend.name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _BACKENDS[key] = backend
+    return backend
+
+
+def get_backend(name: str) -> EvaluationBackend:
+    """Look a backend up by name (case-insensitive)."""
+    found = _BACKENDS.get(name.lower())
+    if found is None:
+        raise BackendError(
+            f"unknown evaluation backend {name!r}; "
+            f"available: {available_backends()}"
+        )
+    return found
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`get_backend`."""
+    return sorted(_BACKENDS)
+
+
+register_backend(ScalarBackend())
+register_backend(BatchBackend())

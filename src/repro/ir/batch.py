@@ -1,0 +1,236 @@
+"""Batched floating-point interpreter.
+
+Evaluates a :class:`~repro.ir.Program` over *all* stimuli of a
+simulation at once: every runtime value is a float64 array with the
+stimulus set as its trailing axis, and loops the
+:mod:`~repro.ir.vectorize` analysis proves independent additionally
+run as array *lanes* (leading axis) instead of Python iterations.
+
+Because every operation remains elementwise float64 and program order
+is preserved per lane, results are bit-identical to
+:class:`~repro.ir.interp.Interpreter` — the golden contract pinned by
+``tests/test_backend.py``.  The scalar interpreter stays the semantic
+reference (and the only executor supporting tracing); this one exists
+to make simulation-backed evaluation fast.
+
+``range_probe`` is the batched counterpart of the scalar
+``range_observer`` hook: it receives every produced value *array*
+(instead of one call per scalar), which is all min/max range
+observation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.ir.block import BasicBlock
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+from repro.ir.program import BlockRef, LoopNode, Program
+from repro.ir.symbols import SymbolKind
+from repro.ir.vectorize import VectorPlan, vector_plan
+
+__all__ = [
+    "BatchExecutorBase",
+    "BatchInterpreter",
+    "run_program_batch",
+    "stack_input_columns",
+]
+
+#: Batched range-observation hook: ``(static op id, value array)``.
+RangeProbe = Callable[[int, np.ndarray], None]
+
+
+def stack_input_columns(decl, stimuli: Sequence[Mapping[str, np.ndarray]]):
+    """One input array across all stimuli as flat (cells, stimuli) columns.
+
+    Validates presence and shape per stimulus exactly like the scalar
+    interpreters do; shared by the float and fixed-point batch
+    executors (the latter quantizes the result afterwards).
+    """
+    columns = []
+    for stimulus in stimuli:
+        if decl.name not in stimulus:
+            raise InterpreterError(f"missing input array {decl.name!r}")
+        data = np.asarray(stimulus[decl.name], dtype=np.float64)
+        if data.shape != decl.shape:
+            raise InterpreterError(
+                f"input {decl.name!r}: shape {data.shape} != "
+                f"declared {decl.shape}"
+            )
+        columns.append(data.reshape(-1))
+    return np.stack(columns, axis=1)
+
+
+class BatchExecutorBase:
+    """Shared structure walk of the batch executors.
+
+    Subclasses implement ``_run_block`` (the per-op semantics over
+    whichever value domain they execute in); the schedule walk — with
+    plan-selected loops running as ``arange`` lanes instead of Python
+    iterations — and the (possibly lane-valued) flat indexing are
+    identical for every domain and live here.
+    """
+
+    def __init__(self, program: Program, plan: VectorPlan | None = None) -> None:
+        self.program = program
+        self.plan = plan if plan is not None else vector_plan(program)
+
+    def _run_items(self, items, env: dict, state) -> None:
+        for item in items:
+            if isinstance(item, BlockRef):
+                self._run_block(self.program.blocks[item.name], env, state)
+            elif isinstance(item, LoopNode):
+                if self.plan.is_vectorized(item):
+                    env[item.var] = np.arange(item.trip)
+                    self._run_items(item.body, env, state)
+                    del env[item.var]
+                else:
+                    for i in range(item.trip):
+                        env[item.var] = i
+                        self._run_items(item.body, env, state)
+                    del env[item.var]
+            else:  # pragma: no cover - defensive
+                raise InterpreterError(f"bad schedule item {item!r}")
+
+    def _flat_index(self, op: Operation, env: Mapping):
+        """Flat cell index: an int, or an int array over vector lanes."""
+        decl = self.program.arrays[op.array]  # type: ignore[index]
+        assert op.index is not None
+        coords = [ix.evaluate(env) for ix in op.index]
+        for coord, extent in zip(coords, decl.shape):
+            if np.any((np.asarray(coord) < 0) | (np.asarray(coord) >= extent)):
+                raise InterpreterError(
+                    f"{op.kind.value} {op.array} out of bounds {decl.shape} "
+                    f"(op {op.opid})"
+                )
+        if decl.rank == 1:
+            return coords[0]
+        return coords[0] * decl.shape[1] + coords[1]
+
+    def _run_block(self, block: BasicBlock, env: Mapping, state) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class BatchInterpreter(BatchExecutorBase):
+    """Float64 executor evaluating every stimulus in one pass."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stimuli: Sequence[Mapping[str, np.ndarray]],
+        range_probe: RangeProbe | None = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Execute over ``stimuli``; returns one output dict per stimulus."""
+        if not stimuli:
+            raise InterpreterError("batch run needs at least one stimulus")
+        storage = self._init_storage(stimuli)
+        var_values: dict[str, np.ndarray | float] = {
+            name: decl.init for name, decl in self.program.variables.items()
+        }
+        state = _BatchState(storage, var_values, range_probe)
+        self._run_items(self.program.schedule, {}, state)
+        return [
+            {
+                decl.name: storage[decl.name][:, s].copy().reshape(decl.shape)
+                for decl in self.program.output_arrays()
+            }
+            for s in range(len(stimuli))
+        ]
+
+    # ------------------------------------------------------------------
+    def _init_storage(
+        self, stimuli: Sequence[Mapping[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        """Flat (cells, stimuli) float64 columns per array symbol."""
+        n_stimuli = len(stimuli)
+        storage: dict[str, np.ndarray] = {}
+        for decl in self.program.arrays.values():
+            if decl.kind is SymbolKind.INPUT:
+                storage[decl.name] = stack_input_columns(decl, stimuli)
+            elif decl.kind is SymbolKind.COEFF:
+                assert decl.values is not None
+                flat = decl.values.reshape(-1).astype(np.float64)
+                storage[decl.name] = np.repeat(flat[:, None], n_stimuli, axis=1)
+            else:
+                storage[decl.name] = np.zeros(
+                    (decl.size, n_stimuli), dtype=np.float64
+                )
+        return storage
+
+    # ------------------------------------------------------------------
+    def _run_block(
+        self, block: BasicBlock, env: Mapping, state: "_BatchState"
+    ) -> None:
+        values: dict[int, np.ndarray | float] = {}
+        for op in block.ops:
+            kind = op.kind
+            if kind is OpKind.CONST:
+                result = float(op.value)  # type: ignore[arg-type]
+            elif kind is OpKind.LOAD:
+                flat = self._flat_index(op, env)
+                result = state.storage[op.array][flat]
+                if np.isscalar(flat) or np.ndim(flat) == 0:
+                    # Basic indexing views the storage row; copy so the
+                    # value is immune to later stores into the cell.
+                    result = result.copy()
+            elif kind is OpKind.STORE:
+                result = values[op.operands[0]]
+                flat = self._flat_index(op, env)
+                state.storage[op.array][flat] = result
+            elif kind is OpKind.READVAR:
+                result = state.var_values[op.var]  # type: ignore[index]
+            elif kind is OpKind.WRITEVAR:
+                result = values[op.operands[0]]
+                state.var_values[op.var] = result  # type: ignore[index]
+            else:
+                result = _arith(op, values)
+            values[op.opid] = result
+            if state.range_probe is not None:
+                state.range_probe(op.opid, result)
+
+
+def _arith(op: Operation, values: dict):
+    kind = op.kind
+    if op.is_binary:
+        a = values[op.operands[0]]
+        b = values[op.operands[1]]
+        if kind is OpKind.ADD:
+            return a + b
+        if kind is OpKind.SUB:
+            return a - b
+        if kind is OpKind.MUL:
+            return a * b
+        # MIN/MAX mirror Python's min/max exactly — "b only if it
+        # strictly improves on a" — so ties, signed zeros and NaN
+        # operands all resolve to the same bits as the scalar
+        # interpreter's min(a, b) / max(a, b).
+        if kind is OpKind.MIN:
+            return np.where(b < a, b, a)
+        if kind is OpKind.MAX:
+            return np.where(b > a, b, a)
+        raise InterpreterError(f"unhandled binary op {kind}")  # pragma: no cover
+    a = values[op.operands[0]]
+    if kind is OpKind.NEG:
+        return -a
+    if kind is OpKind.ABS:
+        return np.abs(a)
+    raise InterpreterError(f"unhandled unary op {kind}")  # pragma: no cover
+
+
+@dataclass
+class _BatchState:
+    storage: dict[str, np.ndarray]
+    var_values: dict[str, np.ndarray | float]
+    range_probe: RangeProbe | None
+
+
+def run_program_batch(
+    program: Program, stimuli: Sequence[Mapping[str, np.ndarray]]
+) -> list[dict[str, np.ndarray]]:
+    """One-shot convenience wrapper around :class:`BatchInterpreter`."""
+    return BatchInterpreter(program).run(stimuli)

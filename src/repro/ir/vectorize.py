@@ -1,0 +1,280 @@
+"""Lane-vectorization analysis for the batch evaluation backend.
+
+The batch interpreters (:mod:`repro.ir.batch`,
+:mod:`repro.fixedpoint.fxpbatch`) evaluate every stimulus of a
+simulation at once; this module decides which *loops* can additionally
+be evaluated as array lanes — all iterations of the loop in one
+elementwise sweep per operation — without changing a single result
+bit.
+
+A loop is lane-vectorizable when executing each operation of its body
+once over a vector of iteration values is indistinguishable from the
+scalar iteration order.  Because every op stays elementwise and the
+body is walked in program order, that reduces to three conditions:
+
+1. **Scalar variables carry nothing between iterations.**  Every
+   variable touched in the body is local to the loop (never accessed
+   outside it) and its first access in execution order is a write, so
+   no lane ever observes another lane's value.
+2. **Memory carries nothing between iterations.**  No array is both
+   loaded and stored inside the body, so a load can never observe a
+   store from a different (already-computed) lane.
+3. **Stores from different lanes never collide.**  Two iterations of
+   the loop never write the same cell, so the loss of cross-iteration
+   write ordering is unobservable.  This is checked exactly, by
+   enumerating every store's affine index over the loop's iteration
+   space (bounded by :data:`MAX_ENUMERATED_STORES`).
+
+The analysis picks the *outermost* eligible loops (largest lane
+count); nested loops inside a vectorized loop simply stay ordinary
+Python loops over lane-shaped values.  Programs with loop-carried
+recurrences (e.g. IIR feedback) yield an empty plan and still benefit
+from the stimulus axis alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.block import BasicBlock
+from repro.ir.index import AffineIndex
+from repro.ir.ops import Operation
+from repro.ir.optypes import OpKind
+from repro.ir.program import BlockRef, LoopNode, Program
+
+__all__ = ["MAX_ENUMERATED_STORES", "VectorPlan", "build_vector_plan",
+           "vector_plan"]
+
+#: Upper bound on the store-index enumeration of one candidate loop;
+#: candidates above it are conservatively rejected.
+MAX_ENUMERATED_STORES = 1 << 22
+
+
+@dataclass(frozen=True)
+class VectorPlan:
+    """Which loops of a program the batch backend runs as lanes."""
+
+    program: Program
+    #: ``id()`` of every :class:`LoopNode` chosen for vectorization.
+    loop_ids: frozenset[int]
+    #: Human-readable summary: ``(loop var, trip count)`` per loop.
+    loops: tuple[tuple[str, int], ...]
+
+    def is_vectorized(self, loop: LoopNode) -> bool:
+        return id(loop) in self.loop_ids
+
+    def describe(self) -> str:
+        if not self.loops:
+            return "no lane-vectorizable loops (stimulus axis only)"
+        lanes = ", ".join(f"{var}[{trip}]" for var, trip in self.loops)
+        return f"vector lanes: {lanes}"
+
+
+def vector_plan(program: Program) -> VectorPlan:
+    """The (memoized) vectorization plan of ``program``."""
+    cached = getattr(program, "_vector_plan", None)
+    if cached is not None:
+        return cached
+    plan = build_vector_plan(program)
+    try:
+        program._vector_plan = plan
+    except AttributeError:  # pragma: no cover - slotted Program variant
+        pass
+    return plan
+
+
+def build_vector_plan(program: Program) -> VectorPlan:
+    """Analyze ``program`` and choose its outermost vectorizable loops."""
+    accesses = _variable_access_blocks(program)
+    chosen: list[LoopNode] = []
+
+    def visit(items) -> None:
+        for item in items:
+            if not isinstance(item, LoopNode):
+                continue
+            if _loop_is_vectorizable(program, item, accesses):
+                chosen.append(item)
+            else:
+                visit(item.body)
+
+    visit(program.schedule)
+    return VectorPlan(
+        program,
+        frozenset(id(loop) for loop in chosen),
+        tuple((loop.var, loop.trip) for loop in chosen),
+    )
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+# ----------------------------------------------------------------------
+
+def _variable_access_blocks(program: Program) -> dict[str, set[str]]:
+    """Names of the blocks touching each scalar variable."""
+    accesses: dict[str, set[str]] = {}
+    for block in program.blocks.values():
+        for op in block.ops:
+            if op.var is not None:
+                accesses.setdefault(op.var, set()).add(block.name)
+    return accesses
+
+
+def _body_blocks(program: Program, loop: LoopNode) -> list[BasicBlock]:
+    """Blocks of the loop body, in execution (schedule) order."""
+    blocks: list[BasicBlock] = []
+
+    def visit(items) -> None:
+        for item in items:
+            if isinstance(item, BlockRef):
+                blocks.append(program.blocks[item.name])
+            else:
+                visit(item.body)
+
+    visit(loop.body)
+    return blocks
+
+
+def _loop_is_vectorizable(
+    program: Program, loop: LoopNode, accesses: dict[str, set[str]]
+) -> bool:
+    blocks = _body_blocks(program, loop)
+    block_names = {block.name for block in blocks}
+
+    loaded: set[str] = set()
+    stored: set[str] = set()
+    first_var_access: dict[str, OpKind] = {}
+    stores: list[tuple[Operation, BasicBlock]] = []
+    for block in blocks:
+        for op in block.ops:
+            if op.kind is OpKind.LOAD:
+                loaded.add(op.array)  # type: ignore[arg-type]
+            elif op.kind is OpKind.STORE:
+                stored.add(op.array)  # type: ignore[arg-type]
+                stores.append((op, block))
+            elif op.var is not None:
+                first_var_access.setdefault(op.var, op.kind)
+
+    # 1. Variables: loop-local, written before read.
+    for var, first_kind in first_var_access.items():
+        if accesses.get(var, set()) - block_names:
+            return False  # value escapes (or enters) the loop
+        if first_kind is not OpKind.WRITEVAR:
+            return False  # loop-carried scalar recurrence
+    # 2. Memory: no array both read and written in the body.
+    if loaded & stored:
+        return False
+    # 3. Stores: no two lanes may ever write the same cell.
+    return _stores_lane_disjoint(program, loop, stores)
+
+
+def _flat_affine(program: Program, op: Operation) -> AffineIndex:
+    """The store/load subscript as a single flat (row-major) affine."""
+    decl = program.arrays[op.array]  # type: ignore[index]
+    assert op.index is not None
+    flat = AffineIndex.constant(0)
+    for index, stride in zip(op.index, _strides(decl.shape)):
+        flat = flat + index.scaled(stride)
+    return flat
+
+
+def _strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+    strides = [1]
+    for extent in reversed(shape[1:]):
+        strides.append(strides[-1] * extent)
+    return tuple(reversed(strides))
+
+
+def _stores_lane_disjoint(
+    program: Program, loop: LoopNode,
+    stores: list[tuple[Operation, BasicBlock]],
+) -> bool:
+    """Exact check that distinct lanes never write one cell.
+
+    For every store the flat index is enumerated over the iteration
+    space it depends on and every (outer context, cell, lane) triple is
+    collected per array; a cell reached from two different lanes within
+    the same outer context kills the candidate.
+
+    Loop variables *enclosing* the candidate loop are a common additive
+    offset for every lane of one execution, so they cancel out of any
+    collision comparison *within one store* — but not across two stores
+    whose indices carry different outer coefficients.  They are
+    therefore fixed at zero only when every store of an array agrees on
+    them; otherwise the outer iteration space is enumerated as the
+    collision context.
+    """
+    by_array: dict[str, list[tuple[Operation, BasicBlock, dict]]] = {}
+    for op, block in stores:
+        coeffs = dict(_flat_affine(program, op).terms)
+        if coeffs.get(loop.var, 0) == 0:
+            if loop.trip > 1:
+                return False  # every lane writes the same cell
+            continue
+        by_array.setdefault(op.array, []).append(  # type: ignore[arg-type]
+            (op, block, coeffs)
+        )
+
+    for array_stores in by_array.values():
+        # Outer nest of the candidate loop (identical for every body
+        # block); enumerated only when the stores disagree on it.
+        _op0, block0, _c0 = array_stores[0]
+        position = block0.loop_vars.index(loop.var)
+        outer = list(zip(block0.loop_vars[:position],
+                         block0.trip_counts[:position]))
+        coeff_vectors = {
+            tuple(coeffs.get(var, 0) for var, _ in outer)
+            for _op, _block, coeffs in array_stores
+        }
+        context_vars: list[tuple[str, int]] = []
+        if len(coeff_vectors) > 1:
+            context_vars = [
+                (var, trip) for var, trip in outer
+                if any(coeffs.get(var, 0) != 0
+                       for _op, _block, coeffs in array_stores)
+            ]
+
+        cells_all, lanes_all, contexts_all = [], [], []
+        for op, block, coeffs in array_stores:
+            inner_position = block.loop_vars.index(loop.var)
+            varying = context_vars + [
+                (var, trip)
+                for var, trip in zip(
+                    block.loop_vars[inner_position:],
+                    block.trip_counts[inner_position:],
+                )
+                if coeffs.get(var, 0) != 0
+            ]
+            grid_size = int(np.prod([trip for _, trip in varying]))
+            if grid_size > MAX_ENUMERATED_STORES:
+                return False  # too large to prove disjoint; stay scalar
+            grids = np.meshgrid(
+                *(np.arange(trip) for _, trip in varying), indexing="ij"
+            )
+            env = {var: grid for (var, _), grid in zip(varying, grids)}
+            flat = _flat_affine(program, op)
+            cells = flat.const + sum(
+                coeff * env.get(var, 0) for var, coeff in flat.terms
+            )
+            # Mixed-radix id of the outer iteration; collisions only
+            # count between instances sharing it.
+            context = 0
+            for var, trip in context_vars:
+                context = context * trip + env[var]
+            shape = np.shape(cells)
+            cells_all.append(np.ravel(cells))
+            lanes_all.append(
+                np.ravel(np.broadcast_to(env[loop.var], shape))
+            )
+            contexts_all.append(np.ravel(np.broadcast_to(context, shape)))
+
+        cells = np.concatenate(cells_all)
+        lanes = np.concatenate(lanes_all)
+        contexts = np.concatenate(contexts_all)
+        order = np.lexsort((lanes, contexts, cells))
+        cells, lanes, contexts = cells[order], lanes[order], contexts[order]
+        same_cell = (cells[1:] == cells[:-1]) & (contexts[1:] == contexts[:-1])
+        if np.any(same_cell & (lanes[1:] != lanes[:-1])):
+            return False
+    return True

@@ -1,7 +1,14 @@
 """The paper's benchmark kernels (plus auxiliary examples)."""
 
 from repro.kernels.conv2d import conv2d, default_conv_kernel
-from repro.kernels.extra import dot_product, kernel_by_name, sad, scale_offset
+from repro.kernels.extra import (
+    dot_product,
+    kernel_by_name,
+    kernel_catalog,
+    kernel_names,
+    sad,
+    scale_offset,
+)
 from repro.kernels.fir import default_fir_coefficients, fir
 from repro.kernels.iir import default_iir_coefficients, iir
 
@@ -14,6 +21,8 @@ __all__ = [
     "fir",
     "iir",
     "kernel_by_name",
+    "kernel_catalog",
+    "kernel_names",
     "sad",
     "scale_offset",
 ]

@@ -13,7 +13,14 @@ from repro.ir.builder import ProgramBuilder
 from repro.ir.index import loop_index
 from repro.ir.program import Program
 
-__all__ = ["dot_product", "sad", "scale_offset"]
+__all__ = [
+    "dot_product",
+    "kernel_by_name",
+    "kernel_catalog",
+    "kernel_names",
+    "sad",
+    "scale_offset",
+]
 
 
 def dot_product(length: int = 64, unroll: int = 4, name: str = "dot") -> Program:
@@ -109,20 +116,32 @@ def scale_offset(
     return builder.build()
 
 
-def kernel_by_name(name: str, **kwargs) -> Program:
-    """Factory used by the CLI: fir / iir / conv / dot / sad."""
+def kernel_catalog() -> dict[str, tuple]:
+    """Every registered kernel: name → (factory, one-line description)."""
     from repro.kernels.conv2d import conv2d
     from repro.kernels.fir import fir
     from repro.kernels.iir import iir
 
-    factories = {
-        "fir": fir,
-        "iir": iir,
-        "conv": conv2d,
-        "dot": dot_product,
-        "sad": sad,
-        "scale_offset": scale_offset,
+    return {
+        "conv": (conv2d, "3x3 image convolution, fully unrolled (paper)"),
+        "dot": (dot_product, "unrolled dot product (quick-start kernel)"),
+        "fir": (fir, "64-tap FIR filter, tap loop unrolled by 4 (paper)"),
+        "iir": (iir, "10th-order IIR filter, direct form I (paper)"),
+        "sad": (sad, "sum of absolute differences (motion estimation)"),
+        "scale_offset": (scale_offset, "elementwise y = scale*x + offset"),
     }
-    if name not in factories:
-        raise IRError(f"unknown kernel {name!r}; pick from {sorted(factories)}")
-    return factories[name](**kwargs)
+
+
+def kernel_names() -> list[str]:
+    """Names accepted by :func:`kernel_by_name`."""
+    return sorted(kernel_catalog())
+
+
+def kernel_by_name(name: str, **kwargs) -> Program:
+    """Factory used by the CLI: any :func:`kernel_catalog` entry."""
+    catalog = kernel_catalog()
+    if name not in catalog:
+        raise IRError(
+            f"unknown kernel {name!r}; pick from {sorted(catalog)}"
+        )
+    return catalog[name][0](**kwargs)

@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.flows.common import FlowResult
 from repro.flows.wlo_first import WloFirstResult
+from repro.ir.backend import DEFAULT_BACKEND
 from repro.pipeline.passes import (
     AccuracyModelPass,
     AdjointGainsPass,
@@ -40,9 +41,13 @@ from repro.pipeline.state import FlowState
 __all__ = ["declare_decoupled_flow", "declare_joint_flow"]
 
 
-def _analysis_passes() -> tuple[Pass, ...]:
+def _analysis_passes(sim_backend: str = DEFAULT_BACKEND) -> tuple[Pass, ...]:
     """The shared prefix: ranges, adjoint gains, accuracy model."""
-    return (RangeAnalysisPass(), AdjointGainsPass(), AccuracyModelPass())
+    return (
+        RangeAnalysisPass(sim_backend=sim_backend),
+        AdjointGainsPass(),
+        AccuracyModelPass(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -79,9 +84,9 @@ register_flow(FlowSpec(
 # ----------------------------------------------------------------------
 # wlo-first (decoupled baseline) and its variants
 
-def _build_decoupled(wlo: str) -> tuple[Pass, ...]:
+def _build_decoupled(wlo: str, sim_backend: str) -> tuple[Pass, ...]:
     return (
-        *_analysis_passes(),
+        *_analysis_passes(sim_backend),
         IwlAssignmentPass(),
         WloPass(engine=wlo),
         NoiseReportPass(),
@@ -131,7 +136,11 @@ def _decoupled_result(
 
 
 def declare_decoupled_flow(
-    name: str, description: str, wlo: str = "tabu", **register_kwargs: Any
+    name: str,
+    description: str,
+    wlo: str = "tabu",
+    sim_backend: str = DEFAULT_BACKEND,
+    **register_kwargs: Any,
 ) -> FlowSpec:
     """Declare a WLO-then-SLP flow around the named WLO engine."""
     return register_flow(FlowSpec(
@@ -139,7 +148,7 @@ def declare_decoupled_flow(
         description=description,
         build=_build_decoupled,
         result=_decoupled_result,
-        params={"wlo": wlo},
+        params={"wlo": wlo, "sim_backend": sim_backend},
     ), **register_kwargs)
 
 
@@ -147,10 +156,11 @@ def declare_decoupled_flow(
 # wlo-slp (the paper's joint flow) and its variants
 
 def _build_joint(
-    harmonize: bool, scaloptim: bool, accuracy_conflicts: bool
+    harmonize: bool, scaloptim: bool, accuracy_conflicts: bool,
+    sim_backend: str,
 ) -> tuple[Pass, ...]:
     return (
-        *_analysis_passes(),
+        *_analysis_passes(sim_backend),
         IwlAssignmentPass(),
         JointWloSlpPass(
             harmonize=harmonize,
@@ -188,6 +198,7 @@ def declare_joint_flow(
     harmonize: bool = True,
     scaloptim: bool = True,
     accuracy_conflicts: bool = True,
+    sim_backend: str = DEFAULT_BACKEND,
     **register_kwargs: Any,
 ) -> FlowSpec:
     """Declare a joint SLP-aware WLO flow with the given features."""
@@ -200,6 +211,7 @@ def declare_joint_flow(
             "harmonize": harmonize,
             "scaloptim": scaloptim,
             "accuracy_conflicts": accuracy_conflicts,
+            "sim_backend": sim_backend,
         },
     ), **register_kwargs)
 

@@ -28,6 +28,7 @@ from repro.errors import FlowError
 from repro.fixedpoint.iwl import assign_iwls
 from repro.fixedpoint.range_analysis import RangeResult, analyze_ranges
 from repro.fixedpoint.spec import FixedPointSpec, SlotMap
+from repro.ir.backend import DEFAULT_BACKEND
 from repro.pipeline.state import FlowState
 from repro.scheduler.cycles import program_cycles
 from repro.slp.extraction import SelectionStats, extract_groups_decoupled
@@ -95,25 +96,37 @@ class Pass:
 
 class RangeAnalysisPass(Pass):
     """Dynamic-range analysis on the analysis twin, re-keyed onto the
-    benchmark program's slot map (identical numbering)."""
+    benchmark program's slot map (identical numbering).
+
+    ``sim_backend`` names the evaluation backend of the simulation
+    path (every backend yields identical ranges — see
+    :mod:`repro.ir.backend`); it is part of the pass signature, so the
+    per-pass cache and the sweep's per-cell cache key cells per
+    backend and can never alias results across backends.
+    """
 
     name = "range-analysis"
     reads = ("program", "analysis_program")
     writes = ("slotmap", "ranges")
     cacheable = True
 
-    def __init__(self, method: str = "auto") -> None:
+    def __init__(
+        self, method: str = "auto", sim_backend: str = DEFAULT_BACKEND
+    ) -> None:
         self.method = method
+        self.sim_backend = sim_backend
 
     def params(self) -> dict[str, Any]:
-        return {"method": self.method}
+        return {"method": self.method, "sim_backend": self.sim_backend}
 
     def run(self, state: FlowState) -> dict[str, Any]:
         program = state.get("program")
         twin = state.get("analysis_program")
         slotmap = SlotMap(program)
         twin_slotmap = slotmap if twin is program else SlotMap(twin)
-        ranges = analyze_ranges(twin, twin_slotmap, method=self.method)
+        ranges = analyze_ranges(
+            twin, twin_slotmap, method=self.method, backend=self.sim_backend
+        )
         ranges = RangeResult(slotmap, ranges.ranges, ranges.method)
         return {"slotmap": slotmap, "ranges": ranges}
 

@@ -10,10 +10,14 @@ class TestParser:
         parser = build_parser()
         for argv in (
             ["targets"],
+            ["kernels"],
             ["flows"],
             ["run", "--kernel", "dot", "--constraint", "-20"],
             ["run", "--kernel", "dot", "--flow", "wlo-first",
              "--wlo", "min+1", "--timings"],
+            ["run", "--kernel", "dot", "--sim-backend", "scalar"],
+            ["validate", "--kernels", "fir", "--stimuli", "3",
+             "--sim-seed", "7", "--sim-backend", "batch"],
             ["fig4", "--kernels", "fir", "--targets", "xentium"],
             ["table1"],
             ["fig6", "--grid", "-15", "-45"],
@@ -70,6 +74,47 @@ class TestFlowsCommand:
             assert name in out
         assert "range-analysis" in out  # pass structure is shown
         assert "WLO engines:" in out and "tabu" in out
+        assert "Simulation backends:" in out
+        assert "batch" in out and "scalar" in out
+
+
+class TestKernelsCommand:
+    def test_lists_every_kernel(self, capsys):
+        from repro.kernels import kernel_names
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in kernel_names():
+            assert name in out
+
+    def test_unknown_kernel_lists_alternatives(self, capsys):
+        code = main(["run", "--kernel", "fft", "--constraint", "-20"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "fir" in err and "'fft'" in err
+
+
+class TestSimBackendFlag:
+    def test_flag_is_noop_on_flows_without_simulation(self, capsys):
+        # float has no simulation-backed pass; the flag must not error.
+        assert main(["run", "--kernel", "dot", "--flow", "float",
+                     "--sim-backend", "batch"]) == 0
+        assert "float" in capsys.readouterr().out
+
+    def test_zero_stimuli_reports_clean_error(self, capsys):
+        code = main(["validate", "--kernels", "fir", "--stimuli", "0"])
+        assert code == 1
+        assert "at least one stimulus" in capsys.readouterr().err
+
+    def test_scalar_and_batch_runs_agree(self, capsys):
+        assert main(["run", "--kernel", "dot", "--constraint", "-30",
+                     "--sim-backend", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(["run", "--kernel", "dot", "--constraint", "-30",
+                     "--sim-backend", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        # Backends are bit-identical: same cycles, groups and noise.
+        assert scalar_out == batch_out
 
 
 class TestRunFlowSelection:

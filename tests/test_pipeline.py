@@ -399,7 +399,13 @@ class TestFlowStructure:
     def test_pass_names_resolve_parameters(self):
         names = get_flow("wlo-first").pass_names(wlo="min+1")
         assert "wlo[engine='min+1']" in names
-        assert names.index("range-analysis[method='auto']") == 0
+        assert names.index(
+            "range-analysis[method='auto',sim_backend='batch']"
+        ) == 0
+        # The simulation backend resolves into the pass signature too,
+        # so cell keys can never alias results across backends.
+        scalar_names = get_flow("wlo-first").pass_names(sim_backend="scalar")
+        assert scalar_names != get_flow("wlo-first").pass_names()
 
     def test_variants_have_distinct_structures(self):
         assert (
