@@ -1,11 +1,16 @@
-"""Engine micro-benchmarks: parallel fan-out and per-pass reuse.
+"""Engine micro-benchmarks: parallel fan-out, dispatch, per-pass reuse.
 
-Two benchmarks, both recorded (merged by name) into
+Three benchmarks, all recorded (merged by name) into
 ``benchmarks/results/BENCH_sweep.json`` so future PRs have a perf
 trajectory for the engine:
 
 * ``sweep_serial_vs_parallel`` — the same reduced-size plan through a
   serial and a process-pool executor, asserting bit-identical cells.
+* ``sweep_dispatch`` — the same plan through the ``process`` (one pool
+  task per cell) and ``chunked`` (kernel-major chunks + worker-side
+  shared-cache stores) execution backends, asserting bit-identical
+  cells and guarding chunked-dispatch overhead against the per-cell
+  baseline.
 * ``pass_reuse`` — one kernel through the ``wlo-slp`` pipeline at two
   constraints against a fresh :class:`~repro.pipeline.PassCache`; the
   second constraint must resolve the whole analysis prefix (range
@@ -19,11 +24,15 @@ import os
 import platform
 import time
 
-from repro.experiments import KernelConfig, SweepExecutor, SweepPlan
+from repro.experiments import KernelConfig, SweepCache, SweepExecutor, SweepPlan
 from repro.pipeline import ANALYSIS_PASS_NAMES, PassCache, run_flow
 from repro.targets import get_target
 
 from conftest import record_bench as _record
+
+#: Chunked dispatch amortizes pickling/IPC, so it must never cost more
+#: than this factor over per-cell process dispatch on the same plan.
+CHUNK_OVERHEAD_LIMIT = 2.5
 
 BENCH_CONFIG = KernelConfig(
     n_samples=256, analysis_samples=96, image_size=24, analysis_image_size=18
@@ -65,6 +74,51 @@ def test_bench_sweep_serial_vs_parallel(results_dir):
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "parallel_speedup": round(serial_seconds / parallel_seconds, 2),
+    })
+
+
+def test_bench_sweep_dispatch(results_dir, tmp_path):
+    """Chunked dispatch: bit-identical and within the overhead budget.
+
+    Both backends run with a (private, cold) disk cache so the
+    comparison includes each one's real store path — parent-side for
+    ``process``, worker-side for ``chunked``.
+    """
+    plan = SweepPlan.build(BENCH_CONFIG, BENCH_KERNELS, BENCH_TARGETS, BENCH_GRID)
+
+    started = time.perf_counter()
+    process_cells, process_stats = SweepExecutor(
+        BENCH_CONFIG, jobs=BENCH_JOBS, backend="process",
+        cache=SweepCache(tmp_path / "process"),
+    ).run(plan)
+    process_seconds = time.perf_counter() - started
+    assert process_stats.computed == len(plan)
+
+    started = time.perf_counter()
+    chunked_cells, chunked_stats = SweepExecutor(
+        BENCH_CONFIG, jobs=BENCH_JOBS, backend="chunked",
+        cache=SweepCache(tmp_path / "chunked"),
+    ).run(plan)
+    chunked_seconds = time.perf_counter() - started
+    assert chunked_stats.computed == len(plan)
+
+    # The acceptance bars: dispatch strategy must not change a single
+    # number, every cell must hit the disk worker-side, and the chunk
+    # amortization must not regress into an overhead.
+    assert chunked_cells == process_cells
+    assert len(SweepCache(tmp_path / "chunked")) == len(plan)
+    overhead = chunked_seconds / process_seconds
+    assert overhead <= CHUNK_OVERHEAD_LIMIT
+
+    _record("sweep_dispatch", {
+        "n_cells": len(plan),
+        "jobs": BENCH_JOBS,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "process_seconds": round(process_seconds, 3),
+        "chunked_seconds": round(chunked_seconds, 3),
+        "chunked_over_process": round(overhead, 2),
+        "overhead_limit": CHUNK_OVERHEAD_LIMIT,
     })
 
 

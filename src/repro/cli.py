@@ -15,6 +15,7 @@ Usage examples::
     repro sweep --jobs 8
     repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
     repro sweep --flow wlo-slp-lite --wlo max-1
+    repro sweep --backend chunked --jobs 8 --cache-dir /mnt/shared/sweep
     repro validate --stimuli 4 --sim-seed 7 --sim-backend batch
     repro codegen --kernel fir --target xentium --constraint -25 --simd
 
@@ -24,9 +25,14 @@ name through their registries (:mod:`repro.kernels`,
 :mod:`repro.ir.backend`); ``repro kernels`` and ``repro flows`` list
 them.  The sweep-backed commands (``sweep``, ``fig4``, ``table1``,
 ``fig6``, ``ablations``) share the engine flags ``--jobs``
-(process-pool width), ``--cache-dir`` (persistent result cache,
-default ``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and
-``--no-cache``.  Simulation-backed commands take ``--sim-backend
+(process-pool width), ``--backend`` (execution backend from
+:mod:`repro.experiments.backends` — ``serial``/``process``/``chunked``;
+``chunked`` workers share the cache directory, cooperating across
+hosts), ``--cache-dir`` (persistent result cache, default
+``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and ``--no-cache``.
+Sweeps are fault-tolerant: failing cells are reported in a per-cell
+failure table (and a non-zero exit) only after every other cell
+completed and persisted.  Simulation-backed commands take ``--sim-backend
 {scalar,batch}`` (``batch``, the default, is bit-identical and an
 order of magnitude faster) and ``validate`` additionally ``--stimuli``
 / ``--sim-seed``.
@@ -180,6 +186,13 @@ def _grid_and_out_args(
         help="worker processes for cell evaluation (default 1 = serial)",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="execution backend dispatching the missing cells "
+             "(serial/process/chunked; default: serial for --jobs 1, "
+             "process otherwise — chunked amortizes IPC per kernel-major "
+             "chunk and lets workers share --cache-dir across hosts)",
+    )
+    parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="sweep result cache directory "
              "(default ~/.cache/repro/sweep or $REPRO_CACHE_DIR)",
@@ -216,6 +229,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "flows":
+        from repro.experiments.backends import (
+            available_execution_backends,
+            get_execution_backend,
+        )
         from repro.ir.backend import available_backends, get_backend
         from repro.pipeline import available_flows, get_flow
         from repro.wlo.registry import available_wlo_engines
@@ -231,6 +248,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             for name in available_backends()
         )
         print(f"Simulation backends: {backends}")
+        dispatchers = ", ".join(
+            f"{name} ({get_execution_backend(name).description})"
+            for name in available_execution_backends()
+        )
+        print(f"Execution backends: {dispatchers}")
         return 0
 
     if args.command == "run":
@@ -292,10 +314,15 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 
 def _make_runner(args: argparse.Namespace):
-    """An engine-backed runner honouring --jobs/--cache-dir/--no-cache."""
+    """An engine-backed runner honouring the shared engine flags
+    (--jobs/--backend/--cache-dir/--no-cache)."""
     from repro.experiments import ExperimentRunner, SweepCache
+    from repro.experiments.backends import get_execution_backend
     from repro.report import ProgressPrinter
 
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        get_execution_backend(backend)  # validate, listing alternatives
     cache = None
     if not getattr(args, "no_cache", False):
         cache = SweepCache(getattr(args, "cache_dir", None))
@@ -303,11 +330,19 @@ def _make_runner(args: argparse.Namespace):
         jobs=getattr(args, "jobs", 1),
         cache=cache,
         progress=ProgressPrinter(),
+        backend=backend,
     )
 
 
 def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int:
-    """Run a grid slice through the engine and print the flat table."""
+    """Run a grid slice through the engine and print the flat table.
+
+    Fault-tolerant: a failing cell (e.g. an infeasible constraint)
+    never aborts the sweep — every other cell completes, persists to
+    the cache, and prints; the failures get their own per-cell table
+    and the exit status is non-zero only after everything completable
+    completed.
+    """
     import time
 
     from repro.experiments import SweepPlan
@@ -329,6 +364,7 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
         runner.config, args.kernels, args.targets, grid, args.wlo, only,
         args.flow,
     )
+    failed = {request: error for request, error in stats.failures}
     table = TextTable(
         headers=(
             "kernel", "target", "constraint_db", "wlo", "flow",
@@ -338,6 +374,8 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
         title="Sweep — (kernel × target × constraint) cells",
     )
     for request in plan.requests:
+        if request in failed:
+            continue
         cell = runner.cell(
             request.kernel, request.target, request.constraint_db,
             request.wlo, request.flow,
@@ -351,9 +389,22 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
             round(cell.float_speedup, 3),
         )
     print(table.render())
+    if failed:
+        failures = TextTable(
+            headers=("kernel", "target", "constraint_db", "wlo", "flow",
+                     "error"),
+            title="Failed cells — completed cells above were kept and cached",
+        )
+        for request, error in stats.failures:
+            failures.add_row(
+                request.kernel, request.target, request.constraint_db,
+                request.wlo, request.flow, error,
+            )
+        print()
+        print(failures.render())
     print(f"\n{stats.summary()} in {elapsed:.1f}s")
     _export(args, table, "sweep")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

@@ -13,6 +13,7 @@ __all__ = [
     "ValidationError",
     "InterpreterError",
     "BackendError",
+    "ExecutionBackendError",
     "FixedPointError",
     "OverflowPolicyError",
     "RangeAnalysisError",
@@ -44,6 +45,10 @@ class InterpreterError(ReproError):
 
 class BackendError(ReproError):
     """Unknown or misused evaluation backend."""
+
+
+class ExecutionBackendError(BackendError):
+    """Unknown or misused sweep execution backend."""
 
 
 class FixedPointError(ReproError):

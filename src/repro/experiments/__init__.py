@@ -7,9 +7,17 @@ Architecture (one layer per module):
   (kernel, target, constraint, WLO engine); :func:`evaluate_cell` is a
   pure, picklable function from request to :class:`Cell`; a
   :class:`SweepExecutor` resolves plans through an in-memory memo, an
-  optional on-disk cache, and a ``ProcessPoolExecutor`` fan-out
-  (``jobs > 1``), streaming completed cells back with progress
-  callbacks.  Serial and parallel runs are bit-identical.
+  optional on-disk cache, and a pluggable execution backend,
+  streaming completed cells back with progress callbacks.  All
+  backends are bit-identical on surviving cells; failing cells are
+  captured per cell (source ``"failed"``) instead of aborting the
+  sweep.
+* :mod:`~repro.experiments.backends` — the execution-backend registry
+  (fourth registry, next to flows, WLO engines and sim backends):
+  ``serial`` (in-process), ``process`` (one pool task per cell) and
+  ``chunked`` (kernel-major chunk dispatch whose workers load/store
+  the shared disk cache directly, enabling multi-host cooperative
+  sweeps over one ``--cache-dir``).
 * :mod:`~repro.experiments.cache` — the persistent result store: one
   JSON file per cell, keyed by a content hash of the kernel config,
   the cell key and the flow code version, so semantic code edits
@@ -33,6 +41,13 @@ from repro.experiments.ablations import (
     ablation_quant_mode,
     ablation_wlo_engines,
     ablation_wlo_slp_features,
+)
+from repro.experiments.backends import (
+    CellResult,
+    ExecutionBackend,
+    available_execution_backends,
+    get_execution_backend,
+    register_execution_backend,
 )
 from repro.experiments.cache import SweepCache, default_cache_dir
 from repro.experiments.engine import (
@@ -63,6 +78,8 @@ __all__ = [
     "Cell",
     "CellOutcome",
     "CellRequest",
+    "CellResult",
+    "ExecutionBackend",
     "ExperimentRunner",
     "FIG6_TARGETS",
     "KernelConfig",
@@ -76,9 +93,12 @@ __all__ = [
     "ablation_quant_mode",
     "ablation_wlo_engines",
     "ablation_wlo_slp_features",
+    "available_execution_backends",
     "cell_pipeline_signature",
     "default_cache_dir",
     "evaluate_cell",
+    "get_execution_backend",
+    "register_execution_backend",
     "fig4_panel",
     "fig4_table",
     "fig6_series",

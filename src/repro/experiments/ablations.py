@@ -135,13 +135,16 @@ def ablation_wlo_engines(
         title=f"Ablation C — WLO-First engines on {kernel}/{target_name}",
     )
     # One combined plan across all engines so --jobs parallelism spans
-    # the full 3×grid cell set instead of one engine at a time.
+    # the full 3×grid cell set instead of one engine at a time.  The
+    # run drains (and caches) every completable cell before a failure
+    # in any engine variant surfaces through ensure_complete().
     requests = [
         CellRequest(kernel, target_name, float(constraint), engine)
         for engine in ("tabu", "max-1", "min+1")
         for constraint in grid
     ]
-    runner.executor.run(SweepPlan(runner.config, requests))
+    _, stats = runner.executor.run(SweepPlan(runner.config, requests))
+    stats.ensure_complete()
     for constraint in grid:
         for engine in ("tabu", "max-1", "min+1"):
             cell = runner.cell(kernel, target_name, constraint, wlo=engine)

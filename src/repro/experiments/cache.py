@@ -13,8 +13,15 @@ renderers or the CLI leaves the cache warm, so re-rendering
 The cache is forgiving by design: a corrupted, truncated or
 foreign-format file is treated as a miss and overwritten on the next
 store, never raised to the caller.  Writes go through a same-directory
-temp file + ``os.replace`` so concurrent workers can share a cache
-directory without torn reads.
+temp file + ``os.replace`` so concurrent workers — including workers
+on *other hosts* sharing the directory over a network mount (the
+``chunked`` execution backend's cooperation mode) — never tear each
+other's reads.  A temp file orphaned by a worker that died mid-write
+is unlinked on the failure path when possible, and stale leftovers
+from hard kills are swept by the coordinating
+:class:`~repro.experiments.engine.SweepExecutor` at the start of each
+resolve (:meth:`SweepCache.sweep_stale_tmp` — never in the store hot
+path).
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
+import uuid
 from pathlib import Path
 
 from repro.experiments.engine import (
@@ -36,6 +45,10 @@ from repro.flows.common import flow_code_version
 __all__ = ["SweepCache", "default_cache_dir"]
 
 _FORMAT_VERSION = 2
+
+#: Temp files older than this are presumed orphaned by a dead worker
+#: (a healthy write lives milliseconds) and swept on the next store.
+_TMP_STALE_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -51,6 +64,7 @@ class SweepCache:
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        self._swept_stale_tmp = False
 
     # ------------------------------------------------------------------
     def key(self, config: KernelConfig, request: CellRequest) -> str:
@@ -97,7 +111,15 @@ class SweepCache:
         return cell
 
     def store(self, config: KernelConfig, request: CellRequest, cell: Cell) -> Path:
-        """Atomically persist one cell; returns its path."""
+        """Atomically persist one cell; returns its path.
+
+        The temp file is unlinked if the write or rename fails, so an
+        interrupted store leaves no permanent ``*.json.tmp*`` litter;
+        leftovers from workers killed too hard to clean up are swept
+        by :meth:`sweep_stale_tmp` (called by the sweep *coordinator*,
+        not here — a store is the hot path of every chunked worker and
+        must not pay an O(directory) glob over a network mount).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path(config, request)
         payload = {
@@ -108,10 +130,44 @@ class SweepCache:
             "pipeline": cell_pipeline_signature(request),
             "cell": dataclasses.asdict(cell),
         }
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-        os.replace(tmp, path)
+        # PID alone is not unique across the hosts that may share this
+        # directory over a network mount (the chunked backend's
+        # cooperation mode); the random component keeps two same-PID
+        # writers on different machines from interleaving one file.
+        tmp = path.with_name(
+            path.name + f".tmp{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         return path
+
+    def sweep_stale_tmp(self) -> None:
+        """Unlink temp files orphaned by dead workers (once per instance).
+
+        Called by :class:`~repro.experiments.engine.SweepExecutor` at
+        the start of each resolve, so the directory is groomed once
+        per sweep by its coordinator rather than per worker store.
+        Only files older than :data:`_TMP_STALE_SECONDS` go — a live
+        concurrent writer's temp file is always younger.  Racing
+        sweepers are fine: losing the unlink race is ignored.
+        """
+        if self._swept_stale_tmp:
+            return
+        self._swept_stale_tmp = True
+        cutoff = time.time() - _TMP_STALE_SECONDS
+        for tmp in self.directory.glob("*.json.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass  # vanished or swept by a peer: nothing to do
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -14,21 +14,24 @@ module splits the old monolithic runner into three composable parts:
   reuse contexts.
 * :class:`SweepExecutor` — resolves a plan against an in-memory memo
   and an optional on-disk :class:`~repro.experiments.cache.SweepCache`,
-  fanning misses out over ``concurrent.futures.ProcessPoolExecutor``
-  (serial in-process fallback for ``jobs <= 1``) and streaming
-  completed cells back with progress callbacks.
+  dispatching misses through a pluggable *execution backend*
+  (:mod:`repro.experiments.backends`: ``serial`` / ``process`` /
+  ``chunked``) and streaming completed cells back with progress
+  callbacks.
 
-Cell evaluation is deterministic (fixed analysis seeds), so parallel
-and serial execution produce bit-identical results.
+Cell evaluation is deterministic (fixed analysis seeds), so every
+backend produces bit-identical results on the surviving cells.
+Failures are first-class: a cell that raises (e.g. an infeasible
+constraint's :class:`~repro.errors.WLOError`) becomes a ``"failed"``
+:class:`CellOutcome` carrying the exception text, while every other
+cell keeps streaming — and keeps persisting to the disk cache — so
+one bad cell can never lose a sweep's worth of completed work.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
-
-import pickle
 
 from repro.errors import FlowError
 from repro.flows.common import AnalysisContext
@@ -282,8 +285,12 @@ def evaluate_cell(
         float_cycles=float_total,
         wlo_first_groups=baseline.simd.n_groups,
         wlo_slp_groups=joint.n_groups,
-        wlo_first_noise_db=baseline.simd.noise_db or 0.0,
-        wlo_slp_noise_db=joint.noise_db or 0.0,
+        # `is None`, not `or`: a legitimately measured 0.0 dB noise is
+        # a value, only an unmeasured result maps to the 0.0 sentinel.
+        wlo_first_noise_db=(
+            0.0 if baseline.simd.noise_db is None else baseline.simd.noise_db
+        ),
+        wlo_slp_noise_db=0.0 if joint.noise_db is None else joint.noise_db,
     )
 
 
@@ -366,42 +373,80 @@ class CellOutcome:
     """One resolved cell, tagged with where its numbers came from."""
 
     request: CellRequest
-    cell: Cell
-    #: ``"memo"`` (in-memory), ``"cache"`` (disk), or ``"computed"``.
+    #: ``None`` exactly when the cell failed (see ``error``).
+    cell: Cell | None
+    #: ``"memo"`` (in-memory), ``"cache"`` (disk), ``"computed"``, or
+    #: ``"failed"`` (the cell raised; ``error`` holds the text).
     source: str
+    #: Exception text of a failed cell (``TypeName: message``).
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.cell is None
 
 
 @dataclass
 class SweepStats:
-    """How a plan's cells were resolved."""
+    """How a plan's cells were resolved (failures included)."""
 
     memo: int = 0
     cache: int = 0
     computed: int = 0
+    failed: int = 0
+    #: ``(request, exception text)`` of every failed cell, plan order.
+    failures: list[tuple[CellRequest, str]] = field(default_factory=list)
 
     @property
     def total(self) -> int:
-        return self.memo + self.cache + self.computed
+        return self.memo + self.cache + self.computed + self.failed
 
     def count(self, source: str) -> None:
         setattr(self, source, getattr(self, source) + 1)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} cells: {self.computed} computed, "
             f"{self.cache} from disk cache, {self.memo} memoized"
+        )
+        if self.failed:
+            text += f", {self.failed} failed"
+        return text
+
+    def ensure_complete(self) -> None:
+        """Raise :class:`FlowError` if any cell failed.
+
+        Called by consumers that need the *whole* grid (the figure and
+        table builders) — after the executor has finished everything
+        completable and persisted it, so a re-run after fixing the
+        failing cells is warm.
+        """
+        if not self.failures:
+            return
+        details = "; ".join(
+            f"{r.kernel}:{r.target} @ {r.constraint_db:g} dB "
+            f"(wlo={r.wlo}, flow={r.flow}): {error}"
+            for r, error in self.failures
+        )
+        raise FlowError(
+            f"{self.failed} of {self.total} sweep cells failed "
+            f"(all other cells completed) — {details}"
         )
 
 
 class SweepExecutor:
-    """Resolves sweep plans through memo, disk cache and worker pool.
+    """Resolves sweep plans through memo, disk cache and a dispatcher.
 
     Layering per cell: the in-memory ``memo`` dict (shared with the
     owning :class:`~repro.experiments.runner.ExperimentRunner`), then
-    the optional on-disk cache, then evaluation — in-process when
-    ``jobs <= 1`` or a single cell is missing, otherwise fanned out
-    over a process pool.  Completed cells stream back through
-    :meth:`run_iter` as they finish.
+    the optional on-disk cache, then evaluation through an execution
+    backend from :mod:`repro.experiments.backends`.  ``backend=None``
+    auto-selects: in-process ``serial`` when ``jobs <= 1`` or a single
+    cell is missing, the ``process`` pool otherwise; pass ``"serial"``
+    / ``"process"`` / ``"chunked"`` (or any registered name) to pin
+    one.  Completed cells stream back through :meth:`run_iter` as they
+    finish; failed cells stream too (source ``"failed"``), so the rest
+    of the sweep always completes and persists.
     """
 
     def __init__(
@@ -412,20 +457,28 @@ class SweepExecutor:
         jobs: int = 1,
         memo: dict[CellRequest, Cell] | None = None,
         progress: Callable[[int, int, CellOutcome], None] | None = None,
+        backend: str | None = None,
     ) -> None:
         self.config = config
         self.cache = cache
         self.jobs = max(1, int(jobs))
         self.memo = memo if memo is not None else {}
         self.progress = progress
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(self, plan: SweepPlan) -> tuple[dict[CellRequest, Cell], SweepStats]:
-        """Resolve a whole plan; returns (cells, stats)."""
+        """Resolve a whole plan; returns (cells, stats).
+
+        Failed cells are absent from ``cells`` and listed in
+        ``stats.failures``; callers needing the full grid should
+        ``stats.ensure_complete()``.
+        """
         stats = SweepStats()
         cells: dict[CellRequest, Cell] = {}
         for outcome in self.run_iter(plan, stats):
-            cells[outcome.request] = outcome.cell
+            if outcome.cell is not None:
+                cells[outcome.request] = outcome.cell
         return cells, stats
 
     def run_iter(
@@ -433,6 +486,11 @@ class SweepExecutor:
     ) -> Iterator[CellOutcome]:
         """Stream the plan's cells back as they resolve."""
         stats = stats if stats is not None else SweepStats()
+        if self.cache is not None:
+            # Coordinator-side directory grooming: orphaned temp files
+            # of hard-killed workers are swept once per cache instance
+            # here, never in the workers' store hot path.
+            self.cache.sweep_stale_tmp()
         total = len(plan.requests)
         misses: list[CellRequest] = []
 
@@ -455,57 +513,31 @@ class SweepExecutor:
                     continue
             misses.append(request)
 
-        for request, cell in self._evaluate(plan.config, misses):
-            self.memo[request] = cell
-            if self.cache is not None:
-                self.cache.store(plan.config, request, cell)
-            yield emit(CellOutcome(request, cell, "computed"))
+        for result in self._evaluate(plan.config, misses):
+            if result.error is not None:
+                stats.failures.append((result.request, result.error))
+                yield emit(
+                    CellOutcome(result.request, None, "failed", result.error)
+                )
+                continue
+            self.memo[result.request] = result.cell
+            if self.cache is not None and not result.stored:
+                self.cache.store(plan.config, result.request, result.cell)
+            yield emit(CellOutcome(result.request, result.cell, result.source))
 
     # ------------------------------------------------------------------
-    def _evaluate(
-        self, config: KernelConfig, misses: list[CellRequest]
-    ) -> Iterator[tuple[CellRequest, Cell]]:
+    def _evaluate(self, config: KernelConfig, misses: list[CellRequest]):
+        """Dispatch the cache misses through the execution backend."""
+        # Local import: backends.py imports this module (the registry
+        # sits beside the engine, not under it).
+        from repro.experiments.backends import get_execution_backend
+
         if not misses:
             return
-        if self.jobs == 1 or len(misses) == 1:
-            for request in misses:
-                yield request, evaluate_cell(config, request)
-            return
-        flows = _shippable_flow_specs(misses)
-        workers = min(self.jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(evaluate_cell, config, request, flows): request
-                for request in misses
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    request = pending.pop(future)
-                    yield request, future.result()
-
-
-def _shippable_flow_specs(requests: list[CellRequest]) -> tuple:
-    """The plan's flow declarations, filtered to what pickling allows.
-
-    Every flow a worker will resolve is shipped — the requests' joint
-    flows plus the ``float``/``wlo-first`` roles of every cell — so
-    runtime declarations *and* runtime re-declarations of built-ins
-    reach spawn-started workers (whose registries otherwise hold only
-    the stock declarations, silently diverging from the cache key the
-    parent computed).  A spec holding unpicklable callables (e.g.
-    closures defined in a REPL) is silently skipped — on fork
-    platforms the worker inherits it anyway, elsewhere the worker
-    raises the registry's clear unknown-flow error.
-    """
-    names = dict.fromkeys(["float", "wlo-first"])
-    names.update(dict.fromkeys(r.flow for r in requests))
-    specs = []
-    for name in names:
-        spec = get_flow(name)
-        try:
-            pickle.dumps(spec)
-        except Exception:
-            continue
-        specs.append(spec)
-    return tuple(specs)
+        name = self.backend
+        if name is None:  # auto: pool only when it can pay off
+            name = "serial" if self.jobs == 1 or len(misses) == 1 else "process"
+        backend = get_execution_backend(name)
+        yield from backend.evaluate(
+            config, misses, jobs=self.jobs, cache=self.cache
+        )

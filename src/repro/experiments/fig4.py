@@ -44,8 +44,13 @@ def fig4_table(
     targets: tuple[str, ...] = PAPER_TARGETS,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> TextTable:
-    """All panels as one flat table (kernel, target, constraint)."""
-    runner.prefetch(kernels, targets, grid)
+    """All panels as one flat table (kernel, target, constraint).
+
+    The prefetch completes (and caches) every completable cell first;
+    if any cell failed, one :class:`~repro.errors.FlowError` then
+    names them all — a re-run after the fix resumes warm.
+    """
+    runner.prefetch(kernels, targets, grid).ensure_complete()
     table = TextTable(
         headers=(
             "kernel", "target", "constraint_db",
@@ -74,7 +79,7 @@ def render_fig4(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> str:
     """Full text rendering: one ASCII plot per panel plus the table."""
-    runner.prefetch(kernels, targets, grid)
+    runner.prefetch(kernels, targets, grid).ensure_complete()
     sections = []
     for kernel in kernels:
         for target in targets:

@@ -24,7 +24,7 @@ def fig6_series(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> dict[str, list[tuple[float, float]]]:
     """Per-kernel float-to-WLO-SLP speedup series for one target."""
-    runner.prefetch(kernels, (target,), grid)
+    runner.prefetch(kernels, (target,), grid).ensure_complete()
     return {
         kernel.upper(): [
             (cell.constraint_db, cell.float_speedup)
@@ -40,8 +40,12 @@ def fig6_table(
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> TextTable:
-    """All Fig. 6 points as one flat table."""
-    runner.prefetch(kernels, targets, grid)
+    """All Fig. 6 points as one flat table.
+
+    Completes and caches everything completable before one
+    :class:`~repro.errors.FlowError` reports any failed cells.
+    """
+    runner.prefetch(kernels, targets, grid).ensure_complete()
     table = TextTable(
         headers=("target", "kernel", "constraint_db", "float_cycles",
                  "wlo_slp_cycles", "speedup"),
@@ -65,7 +69,7 @@ def render_fig6(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
 ) -> str:
     """ASCII plots per target plus the flat table."""
-    runner.prefetch(kernels, targets, grid)
+    runner.prefetch(kernels, targets, grid).ensure_complete()
     sections = [
         line_plot(
             fig6_series(runner, target, kernels, grid),

@@ -7,13 +7,21 @@ keyed :class:`~repro.experiments.engine.CellRequest` objects (including
 the WLO engine name, so ablation runs can never alias baseline cells),
 resolved through a :class:`~repro.experiments.engine.SweepExecutor`
 that layers an in-memory memo, an optional persistent on-disk cache,
-and a process pool (``jobs > 1``) for bulk :meth:`prefetch` fan-out.
+and a pluggable execution backend
+(:mod:`repro.experiments.backends`: ``serial`` / ``process`` /
+``chunked``) for bulk :meth:`prefetch` fan-out.  Sweeps are
+fault-tolerant: a failing cell never aborts :meth:`prefetch` — it is
+reported in the returned stats while every other cell completes and
+persists; :meth:`cell` raises a :class:`~repro.errors.FlowError`
+carrying the captured exception text when the one cell it was asked
+for failed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import FlowError
 from repro.experiments.engine import (
     PAPER_CONSTRAINT_GRID,
     PAPER_TARGETS,
@@ -48,6 +56,9 @@ class ExperimentRunner:
     jobs: int = 1
     cache: object | None = None
     progress: object | None = None
+    #: Execution backend name (``serial``/``process``/``chunked``);
+    #: ``None`` auto-selects from ``jobs`` and the miss count.
+    backend: str | None = None
     _cells: dict[CellRequest, Cell] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -63,6 +74,7 @@ class ExperimentRunner:
             jobs=self.jobs,
             memo=self._cells,
             progress=self.progress,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -93,8 +105,18 @@ class ExperimentRunner:
         if found is not None:
             return found
         plan = SweepPlan(self.config, [request])
-        cells, _ = self.executor.run(plan)
-        return cells[request]
+        cells, stats = self.executor.run(plan)
+        found = cells.get(request)
+        if found is None:
+            error = next(
+                (text for req, text in stats.failures if req == request),
+                "cell evaluation failed",
+            )
+            raise FlowError(
+                f"sweep cell {kernel}:{target_name} @ {constraint_db:g} dB "
+                f"(wlo={wlo}, flow={flow}) failed: {error}"
+            )
+        return found
 
     def sweep(
         self,
@@ -104,8 +126,16 @@ class ExperimentRunner:
         wlo: str = "tabu",
         flow: str = "wlo-slp",
     ) -> list[Cell]:
-        """All cells of one (kernel, target) panel."""
-        self.prefetch((kernel,), (target_name,), grid, wlo, flow=flow)
+        """All cells of one (kernel, target) panel.
+
+        ``ensure_complete`` raises one :class:`FlowError` naming every
+        failed cell up front — the alternative (letting :meth:`cell`
+        trip over the first hole) would re-evaluate each failed cell a
+        second time just to fail again.
+        """
+        self.prefetch(
+            (kernel,), (target_name,), grid, wlo, flow=flow
+        ).ensure_complete()
         return [self.cell(kernel, target_name, a, wlo, flow) for a in grid]
 
     # ------------------------------------------------------------------

@@ -24,8 +24,13 @@ def table1(
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
     kernel: str = "fir",
 ) -> TextTable:
-    """Build Table I (cycle counts of SIMD versions for FIR)."""
-    runner.prefetch((kernel,), targets, grid)
+    """Build Table I (cycle counts of SIMD versions for FIR).
+
+    Every completable cell is resolved (and cached) before a failing
+    cell surfaces as one :class:`~repro.errors.FlowError` naming all
+    failures — the table needs the full grid to keep its columns.
+    """
+    runner.prefetch((kernel,), targets, grid).ensure_complete()
     table = TextTable(
         headers=("target", "flow") + tuple(f"{a:g} dB" for a in grid),
         title="Table I — number of cycles of SIMD versions for FIR",

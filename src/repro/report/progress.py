@@ -4,7 +4,10 @@ The sweep executor calls back with (done, total, outcome); this
 printer renders one status line per resolved cell, e.g.::
 
     [ 12/84] computed fir:vex-1 @ -25 dB (wlo-slp 1742 cycles)
+    [ 13/84] failed   fir:vex-1 @ -400 dB !! WLOError: accuracy ...
 
+Failed cells (fault-captured by the executor, which keeps streaming
+the survivors) print their exception text instead of cycle counts.
 Writes to stderr by default so table/figure output on stdout stays
 machine-readable.
 """
@@ -26,9 +29,13 @@ class ProgressPrinter:
     def __call__(self, done: int, total: int, outcome) -> None:
         request = outcome.request
         width = len(str(total))
+        if outcome.cell is None:
+            detail = f"!! {outcome.error}"
+        else:
+            detail = f"({request.flow} {outcome.cell.wlo_slp_cycles} cycles)"
         line = (
             f"[{done:>{width}}/{total}] {outcome.source:<8} "
             f"{request.kernel}:{request.target} @ {request.constraint_db:g} dB "
-            f"({request.flow} {outcome.cell.wlo_slp_cycles} cycles)"
+            f"{detail}"
         )
         print(line, file=self.stream, flush=True)

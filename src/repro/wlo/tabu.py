@@ -88,8 +88,7 @@ def tabu_wlo(
     def snapshot() -> dict[int, int]:
         return {root: spec.wl(root) for root in roots}
 
-    current_cost = wl_relative_cost(program, spec, target)
-    best_cost = current_cost
+    best_cost = wl_relative_cost(program, spec, target)
     best = snapshot()
     tabu_until: dict[int, int] = {}
     evaluations = 0
@@ -121,7 +120,6 @@ def tabu_wlo(
         cost, root, wl = best_move
         spec.set_wl(root, wl)
         tabu_until[root] = iteration + config.tenure
-        current_cost = cost
         if cost < best_cost - 1e-12:
             best_cost = cost
             best = snapshot()

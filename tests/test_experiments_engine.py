@@ -1,9 +1,11 @@
-"""Sweep engine tests: plan, cache, parallel executor, CLI.
+"""Sweep engine tests: plan, cache, execution backends, CLI.
 
 Covers the contracts the CI pipeline relies on: cache hit/miss
-behaviour, bit-identical parallel vs serial results, corrupted cache
-recovery, and the WLO-engine keying fix (ablation cells must never
-alias baseline cells).
+behaviour, bit-identical results across every execution backend,
+per-cell fault isolation (one infeasible cell must never abort a
+sweep or drop completed work), corrupted cache recovery, and the
+WLO-engine keying fix (ablation cells must never alias baseline
+cells).
 """
 
 from __future__ import annotations
@@ -12,16 +14,19 @@ import pickle
 
 import pytest
 
-from repro.errors import FlowError
+from repro.errors import ExecutionBackendError, FlowError
 from repro.experiments import (
     Cell,
+    CellOutcome,
     CellRequest,
     ExperimentRunner,
     KernelConfig,
     SweepCache,
     SweepExecutor,
     SweepPlan,
+    available_execution_backends,
     evaluate_cell,
+    get_execution_backend,
 )
 
 SMALL = dict(
@@ -177,6 +182,285 @@ class TestCache:
         assert any("scaloptim=False" in name for name in signature["joint"])
 
 
+class TestCacheTmpHygiene:
+    def test_store_unlinks_tmp_on_failure(
+        self, config, reference_cells, tmp_path, monkeypatch
+    ):
+        """A store that dies between write and rename must not leak its
+        temp file (the pre-fix behaviour littered the shared directory
+        forever)."""
+        cache = SweepCache(tmp_path)
+        request = next(iter(reference_cells))
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-store")
+
+        monkeypatch.setattr("repro.experiments.cache.os.replace",
+                            exploding_replace)
+        with pytest.raises(OSError, match="mid-store"):
+            cache.store(config, request, reference_cells[request])
+        assert list(tmp_path.glob("*.tmp*")) == []
+        monkeypatch.undo()
+        # The cache still works after the failed attempt.
+        cache.store(config, request, reference_cells[request])
+        assert cache.load(config, request) == reference_cells[request]
+
+    def test_executor_sweeps_stale_tmp_but_keeps_live_writers(
+        self, config, reference_cells, tmp_path
+    ):
+        """The sweep *coordinator* grooms orphaned temp files once per
+        resolve; worker-side stores never pay the directory glob."""
+        import os
+        import time
+
+        stale = tmp_path / ("f" * 32 + ".json.tmp12345")
+        stale.write_text("{ torn write of a hard-killed worker")
+        aged = time.time() - 7200
+        os.utime(stale, (aged, aged))
+        fresh = tmp_path / ("a" * 32 + ".json.tmp999")
+        fresh.write_text("{ a concurrent worker mid-write")
+
+        cache = SweepCache(tmp_path)
+        request = next(iter(reference_cells))
+        cache.store(config, request, reference_cells[request])
+        assert stale.exists()  # a store alone never globs the directory
+
+        executor = SweepExecutor(config, cache=cache, jobs=1)
+        _, stats = executor.run(SweepPlan(config, [request]))
+        assert stats.cache == 1  # resolved from the store above
+        assert not stale.exists()  # orphan swept by the coordinator
+        assert fresh.exists()  # a live writer's young file is untouched
+
+
+#: The infeasible-constraint cell injected by the fault-tolerance
+#: tests: -400 dB is unreachable even at 32-bit word lengths, so the
+#: WLO pass raises WLOError for exactly this cell.
+FAULTY_GRID = (-15.0, -400.0)
+
+
+class _InstantlyBrokenPool:
+    """Stands in for ``ProcessPoolExecutor``: every submitted future
+    raises :class:`BrokenProcessPool`, simulating a worker killed
+    before delivering anything (OOM, segfault)."""
+
+    broken_builds = None  # None: always broken; N: first N pools break
+    built = 0
+
+    def __init__(self, max_workers=None):
+        cls = type(self)
+        cls.built += 1
+        self.broken = (
+            cls.broken_builds is None or cls.built <= cls.broken_builds
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        future = Future()
+        if self.broken:
+            future.set_exception(BrokenProcessPool("worker died"))
+        else:
+            future.set_result(fn(*args))  # healthy rebuild: run inline
+        return future
+
+
+class _BreaksOncePool(_InstantlyBrokenPool):
+    """First pool breaks (worker death), the rebuilt pool is healthy."""
+
+    broken_builds = 1
+    built = 0
+
+
+class TestExecutionBackends:
+    @pytest.fixture(scope="class")
+    def faulty_plan(self, config) -> SweepPlan:
+        return SweepPlan.build(config, ("fir",), ("xentium",), FAULTY_GRID)
+
+    def test_registry(self):
+        assert available_execution_backends() == [
+            "chunked", "process", "serial"
+        ]
+        assert get_execution_backend("SERIAL").name == "serial"
+        with pytest.raises(
+            ExecutionBackendError, match="unknown execution backend"
+        ):
+            get_execution_backend("warp")
+
+    @pytest.mark.parametrize("backend", ["serial", "process", "chunked"])
+    def test_failure_is_isolated_and_survivors_persist(
+        self, backend, config, faulty_plan, reference_cells, tmp_path
+    ):
+        """One infeasible cell: every backend completes the other cell
+        bit-identically, persists it to disk, and reports exactly one
+        failure carrying the exception text."""
+        cache = SweepCache(tmp_path)
+        executor = SweepExecutor(config, cache=cache, jobs=2, backend=backend)
+        cells, stats = executor.run(faulty_plan)
+        assert (stats.computed, stats.failed) == (1, 1)
+        assert stats.total == len(faulty_plan)
+        ((request, error),) = stats.failures
+        assert request.constraint_db == -400.0
+        assert error.startswith("WLOError") and "infeasible" in error
+        survivor = CellRequest("fir", "xentium", -15.0)
+        assert cells == {survivor: reference_cells[survivor]}
+        assert len(cache) == 1
+        assert cache.load(config, survivor) == reference_cells[survivor]
+        assert "1 failed" in stats.summary()
+        with pytest.raises(FlowError, match="infeasible"):
+            stats.ensure_complete()
+
+    def test_failed_outcomes_stream_through_progress(self, config, faulty_plan):
+        outcomes: list[CellOutcome] = []
+        executor = SweepExecutor(
+            config, jobs=1, progress=lambda done, total, o: outcomes.append(o)
+        )
+        executor.run(faulty_plan)
+        sources = {o.request.constraint_db: o.source for o in outcomes}
+        assert sources == {-15.0: "computed", -400.0: "failed"}
+        failed = next(o for o in outcomes if o.failed)
+        assert failed.cell is None and "infeasible" in failed.error
+
+    def test_progress_printer_renders_failures(self):
+        import io
+
+        from repro.report import ProgressPrinter
+
+        stream = io.StringIO()
+        outcome = CellOutcome(
+            CellRequest("fir", "xentium", -400.0), None, "failed",
+            "WLOError: accuracy constraint -400.0 dB is infeasible",
+        )
+        ProgressPrinter(stream)(1, 2, outcome)
+        line = stream.getvalue()
+        assert "failed" in line and "WLOError" in line and "-400" in line
+
+    def test_chunks_are_kernel_major_and_order_preserving(self, config):
+        backend = get_execution_backend("chunked")
+        plan = SweepPlan.build(
+            config, ("fir", "iir"), ("xentium",), (-15.0, -25.0, -45.0)
+        )
+        chunks = backend.chunks(plan.requests, jobs=2)
+        assert [r for chunk in chunks for r in chunk] == plan.requests
+        for chunk in chunks:
+            assert len({r.kernel for r in chunk}) == 1  # never spans kernels
+
+    def test_chunked_workers_cooperate_through_shared_cache(
+        self, config, reference_cells, tmp_path
+    ):
+        """Multi-host mode: one of two cells is already in the shared
+        cache (as if another host stored it).  Workers must load it,
+        compute only the other, and persist the new cell worker-side —
+        nothing left for the coordinating process to write."""
+        cache = SweepCache(tmp_path)
+        first = CellRequest("fir", "xentium", -15.0)
+        second = CellRequest("fir", "xentium", -45.0)
+        cache.store(config, first, reference_cells[first])
+        backend = get_execution_backend("chunked")
+        results = {
+            r.request: r
+            for r in backend.evaluate(
+                config, [first, second], jobs=2, cache=cache
+            )
+        }
+        assert results[first].source == "cache" and results[first].stored
+        assert results[second].source == "computed" and results[second].stored
+        assert results[second].cell == reference_cells[second]
+        assert len(cache) == 2
+
+    def test_process_backend_retries_broken_pool_in_fresh_pool(
+        self, config, reference_cells, monkeypatch
+    ):
+        """A transient worker death breaks the pool; the undelivered
+        cells are retried in a fresh pool (never in the coordinator)
+        and all survive."""
+        monkeypatch.setattr(_BreaksOncePool, "built", 0)
+        monkeypatch.setattr(
+            "repro.experiments.backends.ProcessPoolExecutor",
+            _BreaksOncePool,
+        )
+        backend = get_execution_backend("process")
+        requests = [
+            CellRequest("fir", "xentium", -15.0),
+            CellRequest("fir", "xentium", -45.0),
+        ]
+        results = list(backend.evaluate(config, requests, jobs=2))
+        assert _BreaksOncePool.built == 2  # the rebuilt pool
+        assert {r.request: r.cell for r in results} == {
+            request: reference_cells[request] for request in requests
+        }
+
+    def test_process_backend_fails_cleanly_when_pool_stays_broken(
+        self, config, monkeypatch
+    ):
+        """Permanent breakage (e.g. a cell that always kills its
+        worker): every undelivered cell fails with the breakage text —
+        no coordinator crash, no lost bookkeeping."""
+        monkeypatch.setattr(_InstantlyBrokenPool, "built", 0)
+        monkeypatch.setattr(
+            "repro.experiments.backends.ProcessPoolExecutor",
+            _InstantlyBrokenPool,
+        )
+        backend = get_execution_backend("process")
+        requests = [
+            CellRequest("fir", "xentium", -15.0),
+            CellRequest("fir", "xentium", -45.0),
+        ]
+        results = list(backend.evaluate(config, requests, jobs=2))
+        assert len(results) == len(requests)
+        assert all("BrokenProcessPool" in r.error for r in results)
+
+    def test_chunked_backend_reports_persisted_cells_truthfully(
+        self, config, reference_cells, tmp_path, monkeypatch
+    ):
+        """A worker that dies mid-chunk already persisted its finished
+        cells: the backend must recover those from the shared cache and
+        fail only the genuinely unfinished ones."""
+        cache = SweepCache(tmp_path)
+        first = CellRequest("fir", "xentium", -15.0)
+        second = CellRequest("fir", "xentium", -45.0)
+        cache.store(config, first, reference_cells[first])  # worker got here
+        monkeypatch.setattr(_InstantlyBrokenPool, "built", 0)
+        monkeypatch.setattr(
+            "repro.experiments.backends.ProcessPoolExecutor",
+            _InstantlyBrokenPool,
+        )
+        backend = get_execution_backend("chunked")
+        monkeypatch.setattr(backend, "oversubscribe", 1)  # one 2-cell chunk
+        assert backend.chunks([first, second], jobs=1) == [[first, second]]
+        results = {
+            r.request: r
+            for r in backend.evaluate(
+                config, [first, second], jobs=1, cache=cache
+            )
+        }
+        recovered = results[first]
+        assert recovered.cell == reference_cells[first]
+        assert recovered.source == "cache" and recovered.stored
+        assert "BrokenProcessPool" in results[second].error
+
+    def test_runner_cell_raises_with_captured_error(self):
+        runner = ExperimentRunner(**SMALL)
+        with pytest.raises(FlowError, match="infeasible"):
+            runner.cell("fir", "xentium", -400.0)
+        # The failure is not memoized and neighbours still evaluate.
+        assert runner.cell("fir", "xentium", -15.0) is not None
+
+    def test_explicit_backend_reaches_the_runner(self, tmp_path):
+        runner = ExperimentRunner(
+            **SMALL, backend="chunked", jobs=2, cache=SweepCache(tmp_path)
+        )
+        assert runner.executor.backend == "chunked"
+        stats = runner.prefetch(("fir",), ("xentium",), (-15.0,))
+        assert stats.computed == 1 and len(SweepCache(tmp_path)) == 1
+
+
 class TestParallel:
     def test_parallel_equals_serial(self, config, reference_cells):
         plan = SweepPlan.build(config, ("fir",), ("xentium", "vex-1"), GRID)
@@ -289,3 +573,46 @@ class TestSweepCLI:
         assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
                      "--no-cache", "--wlo", "quantum"]) == 1
         assert "unknown WLO engine" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                     "--no-cache", "--backend", "warp"]) == 1
+        assert "unknown execution backend" in capsys.readouterr().err
+
+    def test_sweep_with_failing_cell_completes_and_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        """The acceptance scenario: a grid with one infeasible cell
+        finishes every other cell, stores them on disk, prints a
+        per-cell failure table, and exits non-zero."""
+        from repro.cli import main
+
+        argv = ["sweep", "--only", "fir:xentium", "--grid", "-15", "-400",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "Failed cells" in out and "infeasible" in out
+        assert "1 computed" in out and "1 failed" in out
+        assert len(list(tmp_path.glob("*.json"))) == 1  # survivor persisted
+        # Warm rerun: the survivor loads from disk, the infeasible cell
+        # is retried (failures are never cached) and still fails.
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "1 from disk cache" in out and "1 failed" in out
+
+    def test_sweep_backends_are_bit_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rows = {}
+        for backend in ("serial", "chunked"):
+            assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
+                         "--backend", backend, "--jobs", "2",
+                         "--cache-dir", str(tmp_path / backend)]) == 0
+            out = capsys.readouterr().out
+            rows[backend] = [
+                line for line in out.splitlines() if line.startswith("   fir")
+            ]
+            assert rows[backend]
+        assert rows["serial"] == rows["chunked"]

@@ -74,6 +74,31 @@ class TestTabu:
         )
         assert result.iterations <= 5
 
+    def test_patience_pins_stall_termination(self, fir_context):
+        """Regression pin for the patience/stall logic: termination
+        depends only on best-cost improvements (no other per-iteration
+        state), so patience changes *only* how far the search coasts
+        past its last improvement — the move trajectory, improvement
+        count and best solution are identical, and each extra unit of
+        patience buys exactly one extra non-improving iteration before
+        the stall break."""
+        target = get_target("xentium")
+
+        def run(patience: int):
+            spec = fir_context.fresh_spec()
+            return tabu_wlo(
+                fir_context.program, spec, fir_context.model, target, -45.0,
+                TabuConfig(max_iterations=10_000, patience=patience),
+            )
+
+        eager, patient = run(2), run(30)
+        # Both stop on stall, far inside the iteration budget.
+        assert eager.iterations < 10_000 and patient.iterations < 10_000
+        assert patient.iterations - eager.iterations == 30 - 2
+        assert eager.improved_moves == patient.improved_moves
+        assert eager.best_cost == patient.best_cost
+        assert eager.best_assignment == patient.best_assignment
+
 
 class TestCostModel:
     def test_cost_scales_with_wl(self, fir_context):
