@@ -1,0 +1,515 @@
+"""The unified typed request API — one description of a job everywhere.
+
+Before this module, "a sweep" was described three different ways: an
+``argparse.Namespace`` inside :mod:`repro.cli`, positional keyword
+arguments into :mod:`repro.experiments.engine`, and ad-hoc dicts in
+the figure drivers.  That made a wire API impossible to add cleanly —
+there was nothing to put on the wire.
+
+This module is the single source of truth instead:
+
+* :class:`SweepRequest` — every knob of a (kernel × target ×
+  constraint) sweep: the grid slice, the flow/WLO/sim-backend
+  selections, and the execution options (jobs, execution backend,
+  cache directory).  Frozen, hashable, JSON round-trippable.
+* :class:`RunRequest` — one flow on one kernel (``repro run``).
+* :class:`SweepReport` — the result side: per-cell outcome payloads
+  plus resolution statistics, equally JSON round-trippable.
+
+The CLI subcommands (:mod:`repro.cli`), the engine entry points
+(:meth:`~repro.experiments.runner.ExperimentRunner.submit`), the
+figure/table drivers and the ``repro serve`` HTTP handlers
+(:mod:`repro.serve`) all construct and consume these objects, so the
+same validated request travels identically from argparse, from Python
+callers, and off the wire::
+
+    >>> from repro.api import SweepRequest
+    >>> req = SweepRequest(kernels=("fir",), targets=("vex-1",), grid=(-15.0,))
+    >>> SweepRequest.from_json(req.to_json()) == req
+    True
+
+:func:`registry_listing` is the shared machine-readable catalog of
+all four registries (flows, WLO engines, simulation backends,
+execution backends) plus kernels and targets — the payload of both
+``repro flows --json`` / ``repro kernels --json`` and the service's
+``GET /registries`` endpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import FlowError
+from repro.experiments.engine import (
+    PAPER_CONSTRAINT_GRID,
+    PAPER_TARGETS,
+    CellOutcome,
+    CellRequest,
+    KernelConfig,
+    SweepPlan,
+    SweepStats,
+    _parse_only,
+)
+
+__all__ = [
+    "RunRequest",
+    "SweepReport",
+    "SweepRequest",
+    "outcome_payload",
+    "registry_listing",
+]
+
+
+def _names(values: Any) -> tuple[str, ...]:
+    return tuple(str(v) for v in values)
+
+
+def _grid(values: Any) -> tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One fully-specified sweep job, identical across every surface.
+
+    Name fields hold registry names (resolved lazily, validated by
+    :meth:`validate`); ``""`` in the optional string fields means "use
+    the default" (``sim_backend``: each flow's declared backend,
+    ``backend``: auto-select serial/process, ``cache_dir``: the
+    standard cache location) — a string rather than ``None`` so the
+    object stays total under JSON round-trips and hashing.
+    """
+
+    kernels: tuple[str, ...] = ("fir", "iir", "conv")
+    targets: tuple[str, ...] = PAPER_TARGETS
+    grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID
+    #: ``KERNEL:TARGET`` pair filter (the CLI ``--only``), or ``None``.
+    only: tuple[str, ...] | None = None
+    wlo: str = "tabu"
+    flow: str = "wlo-slp"
+    sim_backend: str = ""
+    jobs: int = 1
+    #: Execution backend (``serial``/``process``/``chunked``/
+    #: ``workqueue``); ``""`` auto-selects.
+    backend: str = ""
+    cache_dir: str = ""
+    no_cache: bool = False
+
+    def __post_init__(self) -> None:
+        # Normalize the sequence fields so value equality (and thus
+        # the from_json(to_json()) round-trip) never depends on the
+        # caller's choice of list vs tuple.
+        object.__setattr__(self, "kernels", _names(self.kernels))
+        object.__setattr__(self, "targets", _names(self.targets))
+        object.__setattr__(self, "grid", _grid(self.grid))
+        if self.only is not None:
+            object.__setattr__(self, "only", _names(self.only))
+        object.__setattr__(self, "jobs", int(self.jobs))
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "SweepRequest":
+        """Resolve every name through its registry; returns ``self``.
+
+        Raises the registry's own error (listing the available
+        alternatives in the standard format) on any unknown name, a
+        :class:`FlowError` on a malformed ``--only`` filter or a
+        non-positive job count.  Called by the CLI before dispatch and
+        by the HTTP service before accepting a job, so a bad request
+        fails fast with the same message on every surface.
+        """
+        from repro.experiments.backends import get_execution_backend
+        from repro.ir.backend import get_backend
+        from repro.pipeline import get_flow
+        from repro.targets.registry import get_target
+        from repro.wlo.registry import get_wlo_engine
+
+        config = KernelConfig()
+        for kernel in self.kernels:
+            if kernel not in config.kernel_names:
+                from repro.errors import unknown_name_error
+
+                raise unknown_name_error(
+                    FlowError, "kernel", kernel, config.kernel_names
+                )
+        for target in self.targets:
+            get_target(target)
+        get_flow(self.flow)
+        get_wlo_engine(self.wlo)
+        if self.sim_backend:
+            get_backend(self.sim_backend)
+        if self.backend:
+            get_execution_backend(self.backend)
+        _parse_only(self.only)
+        if self.jobs < 1:
+            raise FlowError(f"jobs must be >= 1, got {self.jobs}")
+        return self
+
+    def plan(self, config: KernelConfig | None = None) -> SweepPlan:
+        """The request's deduplicated job graph (engine entry point)."""
+        return SweepPlan.build(
+            config if config is not None else KernelConfig(),
+            self.kernels, self.targets, self.grid, self.wlo, self.only,
+            self.flow, self.sim_backend,
+        )
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready dict (tuples become lists)."""
+        payload = dataclasses.asdict(self)
+        for key in ("kernels", "targets", "grid"):
+            payload[key] = list(payload[key])
+        if payload["only"] is not None:
+            payload["only"] = list(payload["only"])
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        defaults: Mapping[str, Any] | None = None,
+    ) -> "SweepRequest":
+        """Build from a decoded JSON object.
+
+        Unknown keys are rejected (a typoed field name on the wire
+        must not silently fall back to a default); missing keys take
+        ``defaults`` (e.g. the ``repro serve`` process-wide flags)
+        and then the dataclass defaults.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise FlowError(
+                f"unknown sweep request field(s) {sorted(unknown)}; "
+                f"accepts {sorted(fields)}"
+            )
+        merged: dict[str, Any] = {}
+        if defaults:
+            merged.update({k: v for k, v in defaults.items() if k in fields})
+        merged.update(payload)
+        return cls(**merged)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepRequest":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise FlowError("sweep request body must be a JSON object")
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_args(cls, args: Any) -> "SweepRequest":
+        """Materialize from a parsed CLI namespace.
+
+        Reads whichever of the shared engine flags the subcommand
+        declares (``--jobs/--backend/--cache-dir/--no-cache/
+        --sim-backend`` come from the shared parent parser in
+        :mod:`repro.cli`), falling back to the request defaults for
+        the rest — so every sweep-backed subcommand materializes into
+        the same object the wire and Python surfaces use.
+        """
+        values: dict[str, Any] = {}
+        kernels = getattr(args, "kernels", None)
+        if kernels is None and getattr(args, "kernel", None) is not None:
+            kernels = [args.kernel]
+        if kernels is not None:
+            values["kernels"] = kernels
+        targets = getattr(args, "targets", None)
+        if targets is None and getattr(args, "target", None) is not None:
+            targets = [args.target]
+        if targets is not None:
+            values["targets"] = targets
+        if getattr(args, "grid", None) is not None:
+            values["grid"] = args.grid
+        if getattr(args, "only", None) is not None:
+            values["only"] = args.only
+        for name in ("wlo", "flow"):
+            value = getattr(args, name, None)
+            if value is not None:
+                values[name] = value
+        values["sim_backend"] = getattr(args, "sim_backend", None) or ""
+        values["jobs"] = getattr(args, "jobs", 1)
+        values["backend"] = getattr(args, "backend", None) or ""
+        cache_dir = getattr(args, "cache_dir", None)
+        values["cache_dir"] = str(cache_dir) if cache_dir else ""
+        values["no_cache"] = bool(getattr(args, "no_cache", False))
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One flow on one kernel (the ``repro run`` surface).
+
+    ``wlo=""`` keeps the flow's declared engine; ``sim_backend=""``
+    keeps each simulation-backed pass's declared backend (and is a
+    no-op for flows without one, e.g. ``float``).
+    """
+
+    kernel: str = "fir"
+    target: str = "xentium"
+    constraint_db: float = -25.0
+    flow: str = "wlo-slp"
+    wlo: str = ""
+    sim_backend: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "constraint_db", float(self.constraint_db))
+
+    # ------------------------------------------------------------------
+    def execute(self) -> tuple[Any, Any]:
+        """Run the flow; returns ``(result, final FlowState)``.
+
+        The single Python entry point behind ``repro run``: kernel,
+        target, flow and engine all resolve through their registries,
+        raising the standard unknown-name errors.
+        """
+        from repro.kernels import kernel_by_name
+        from repro.pipeline import execute_flow, get_flow
+        from repro.targets.registry import get_target
+        from repro.wlo.registry import get_wlo_engine
+
+        program = kernel_by_name(self.kernel)
+        target = get_target(self.target)
+        spec = get_flow(self.flow)
+        overrides: dict[str, Any] = {}
+        if self.wlo:
+            get_wlo_engine(self.wlo)  # validate, listing alternatives
+            overrides["wlo"] = self.wlo
+        if self.sim_backend and "sim_backend" in spec.params:
+            overrides["sim_backend"] = self.sim_backend
+        return execute_flow(
+            self.flow, program, target,
+            self.constraint_db if spec.needs_constraint else None,
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise FlowError(
+                f"unknown run request field(s) {sorted(unknown)}; "
+                f"accepts {sorted(fields)}"
+            )
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRequest":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise FlowError("run request body must be a JSON object")
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_args(cls, args: Any) -> "RunRequest":
+        return cls(
+            kernel=args.kernel,
+            target=args.target,
+            constraint_db=args.constraint,
+            flow=args.flow,
+            wlo=getattr(args, "wlo", None) or "",
+            sim_backend=getattr(args, "sim_backend", None) or "",
+        )
+
+
+# ----------------------------------------------------------------------
+# Results.
+
+
+def outcome_payload(outcome: CellOutcome) -> dict[str, Any]:
+    """One resolved cell as a JSON-ready dict.
+
+    The shape shared by :class:`SweepReport` and the service's
+    ``GET /jobs/<id>/outcomes`` endpoint: the full request key, the
+    resolution ``source`` (``computed``/``cache``/``memo``/
+    ``failed``), and either the cell's numbers or the error text.
+    """
+    return {
+        "request": dataclasses.asdict(outcome.request),
+        "source": outcome.source,
+        "cell": (
+            None if outcome.cell is None else dataclasses.asdict(outcome.cell)
+        ),
+        "error": outcome.error,
+    }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The result side of a :class:`SweepRequest` — wire-friendly.
+
+    ``outcomes`` holds one :func:`outcome_payload` dict per resolved
+    cell in plan order; ``counts`` the resolution statistics
+    (``computed``/``cache``/``memo``/``failed``).
+    """
+
+    request: SweepRequest
+    outcomes: tuple[dict[str, Any], ...]
+    counts: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outcomes", tuple(self.outcomes))
+
+    @classmethod
+    def build(
+        cls,
+        request: SweepRequest,
+        outcomes: list[CellOutcome],
+        stats: SweepStats,
+        elapsed_s: float = 0.0,
+    ) -> "SweepReport":
+        return cls(
+            request=request,
+            outcomes=tuple(outcome_payload(o) for o in outcomes),
+            counts={
+                "memo": stats.memo,
+                "cache": stats.cache,
+                "computed": stats.computed,
+                "failed": stats.failed,
+            },
+            elapsed_s=round(float(elapsed_s), 3),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def failures(self) -> list[dict[str, Any]]:
+        """The failed outcome payloads, plan order."""
+        return [o for o in self.outcomes if o["cell"] is None]
+
+    def ensure_complete(self) -> "SweepReport":
+        """Raise one :class:`FlowError` naming every failed cell.
+
+        The report-level twin of
+        :meth:`~repro.experiments.engine.SweepStats.ensure_complete` —
+        called by consumers needing the whole grid (figure/table
+        builders), after everything completable resolved and
+        persisted.  Returns ``self`` for chaining.
+        """
+        if not self.failures:
+            return self
+        details = "; ".join(
+            f"{o['request']['kernel']}:{o['request']['target']} @ "
+            f"{o['request']['constraint_db']:g} dB "
+            f"(wlo={o['request']['wlo']}, flow={o['request']['flow']}): "
+            f"{o['error']}"
+            for o in self.failures
+        )
+        raise FlowError(
+            f"{len(self.failures)} of {len(self.outcomes)} sweep cells "
+            f"failed (all other cells completed) — {details}"
+        )
+
+    def cell_request(self, payload: Mapping[str, Any]) -> CellRequest:
+        """The typed :class:`CellRequest` of one outcome payload."""
+        return CellRequest(**payload["request"])
+
+    def cell(self, payload: Mapping[str, Any]):
+        """The typed :class:`~repro.experiments.engine.Cell` of one
+        outcome payload (rehydrates the speedup properties), or
+        ``None`` for a failed cell."""
+        from repro.experiments.engine import Cell
+
+        if payload["cell"] is None:
+            return None
+        return Cell(**payload["cell"])
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "request": self.request.to_payload(),
+            "outcomes": list(self.outcomes),
+            "counts": dict(self.counts),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SweepReport":
+        return cls(
+            request=SweepRequest.from_payload(payload["request"]),
+            outcomes=tuple(payload.get("outcomes", ())),
+            counts=dict(payload.get("counts", {})),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        return cls.from_payload(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Registry catalog.
+
+
+def _jsonable(value: Any) -> Any:
+    """Parameter defaults as JSON-safe values (``repr`` fallback)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def registry_listing() -> dict[str, Any]:
+    """Machine-readable catalog of every registry, one shape everywhere.
+
+    The exact payload of ``repro flows --json`` and of the service's
+    ``GET /registries`` endpoint — flows (with resolved pass lists and
+    default parameters), WLO engines, simulation backends, execution
+    backends, kernels and targets.
+    """
+    from repro.experiments.backends import (
+        available_execution_backends,
+        get_execution_backend,
+    )
+    from repro.ir.backend import available_backends, get_backend
+    from repro.kernels import kernel_catalog
+    from repro.pipeline import available_flows, get_flow
+    from repro.targets.registry import available_targets
+    from repro.wlo.registry import available_wlo_engines
+
+    catalog = kernel_catalog()
+    return {
+        "flows": [
+            {
+                "name": name,
+                "description": get_flow(name).description,
+                "passes": get_flow(name).pass_names(),
+                "params": {
+                    k: _jsonable(v) for k, v in get_flow(name).params.items()
+                },
+                "needs_constraint": get_flow(name).needs_constraint,
+            }
+            for name in available_flows()
+        ],
+        "wlo_engines": list(available_wlo_engines()),
+        "sim_backends": [
+            {"name": name, "description": get_backend(name).description}
+            for name in available_backends()
+        ],
+        "execution_backends": [
+            {
+                "name": name,
+                "description": get_execution_backend(name).description,
+            }
+            for name in available_execution_backends()
+        ],
+        "kernels": [
+            {"name": name, "description": catalog[name][1]}
+            for name in sorted(catalog)
+        ],
+        "targets": list(available_targets()),
+    }

@@ -3,7 +3,7 @@
 Usage examples::
 
     repro targets
-    repro kernels
+    repro kernels --json
     repro flows
     repro run --kernel fir --target xentium --constraint -25
     repro run --kernel fir --flow wlo-first --wlo min+1 --timings
@@ -15,7 +15,8 @@ Usage examples::
     repro sweep --jobs 8
     repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
     repro sweep --flow wlo-slp-lite --wlo max-1
-    repro sweep --backend chunked --jobs 8 --cache-dir /mnt/shared/sweep
+    repro sweep --backend workqueue --jobs 8
+    repro serve --port 8642 --jobs 4
     repro validate --stimuli 4 --sim-seed 7 --sim-backend batch
     repro codegen --kernel fir --target xentium --constraint -25 --simd
 
@@ -23,24 +24,26 @@ Kernels, flows, WLO engines and simulation backends are resolved by
 name through their registries (:mod:`repro.kernels`,
 :mod:`repro.pipeline`, :mod:`repro.wlo.registry`,
 :mod:`repro.ir.backend`); ``repro kernels`` and ``repro flows`` list
-them.  The sweep-backed commands (``sweep``, ``fig4``, ``table1``,
-``fig6``, ``ablations``) share the engine flags ``--jobs``
-(process-pool width), ``--backend`` (execution backend from
-:mod:`repro.experiments.backends` — ``serial``/``process``/``chunked``;
-``chunked`` workers share the cache directory, cooperating across
-hosts), ``--cache-dir`` (persistent result cache, default
-``~/.cache/repro/sweep`` or ``$REPRO_CACHE_DIR``) and ``--no-cache``.
-Sweeps are fault-tolerant: failing cells are reported in a per-cell
-failure table (and a non-zero exit) only after every other cell
-completed and persisted.  Simulation-backed commands take ``--sim-backend
-{scalar,batch}`` (``batch``, the default, is bit-identical and an
-order of magnitude faster) and ``validate`` additionally ``--stimuli``
-/ ``--sim-seed``.
+them (``--json`` emits the same machine-readable catalog as the
+service's ``GET /registries``).
+
+Every sweep-backed command (``sweep``, ``fig4``, ``table1``, ``fig6``,
+``ablations``, ``validate``, ``serve``) declares the *same* shared
+engine flags — ``--jobs``, ``--backend`` (execution backend:
+``serial``/``process``/``chunked``/``workqueue``), ``--cache-dir``,
+``--no-cache``, ``--sim-backend`` — through one argparse parent
+parser, and materializes them into a typed
+:class:`repro.api.SweepRequest`: the exact object Python callers pass
+to :meth:`ExperimentRunner.submit` and HTTP clients POST to
+``repro serve``.  Sweeps are fault-tolerant: failing cells are
+reported in a per-cell failure table (and a non-zero exit) only after
+every other cell completed and persisted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -58,18 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    sim_parent = _sim_backend_parent()
+    engine_parent = _engine_parent(sim_parent)
 
     sub.add_parser("targets", help="list available processor models")
 
-    sub.add_parser("kernels", help="list available benchmark kernels")
+    kernels = sub.add_parser("kernels", help="list available benchmark kernels")
+    _json_flag(kernels)
 
-    sub.add_parser(
+    flows = sub.add_parser(
         "flows",
-        help="list registered flows (pass pipelines), WLO engines and "
-             "simulation backends",
+        help="list registered flows (pass pipelines), WLO engines, "
+             "simulation backends and execution backends",
     )
+    _json_flag(flows)
 
-    run = sub.add_parser("run", help="run one flow on one kernel")
+    run = sub.add_parser(
+        "run", parents=[sim_parent], help="run one flow on one kernel"
+    )
     _kernel_target_args(run)
     run.add_argument("--constraint", type=float, default=-25.0,
                      help="accuracy constraint in dB (default -25)")
@@ -86,27 +95,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="print the per-pass wall-time report after the run",
     )
-    _sim_backend_arg(run)
 
-    fig4 = sub.add_parser("fig4", help="regenerate paper Fig. 4")
+    fig4 = sub.add_parser(
+        "fig4", parents=[engine_parent], help="regenerate paper Fig. 4"
+    )
     fig4.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
     fig4.add_argument("--targets", nargs="+",
                       default=["xentium", "st240", "vex-4", "vex-1"])
     _grid_and_out_args(fig4)
 
-    t1 = sub.add_parser("table1", help="regenerate paper Table I")
+    t1 = sub.add_parser(
+        "table1", parents=[engine_parent], help="regenerate paper Table I"
+    )
     _grid_and_out_args(t1)
 
-    fig6 = sub.add_parser("fig6", help="regenerate paper Fig. 6")
+    fig6 = sub.add_parser(
+        "fig6", parents=[engine_parent], help="regenerate paper Fig. 6"
+    )
     _grid_and_out_args(fig6)
 
-    abl = sub.add_parser("ablations", help="run the ablation studies")
+    abl = sub.add_parser(
+        "ablations", parents=[engine_parent], help="run the ablation studies"
+    )
     abl.add_argument("--kernel", default="fir")
     abl.add_argument("--target", default="xentium")
     _grid_and_out_args(abl, with_grid=False)
 
     sweep = sub.add_parser(
-        "sweep",
+        "sweep", parents=[engine_parent],
         help="run any slice of the (kernel × target × constraint) grid",
     )
     sweep.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
@@ -125,8 +141,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "default wlo-slp)")
     _grid_and_out_args(sweep)
 
+    serve = sub.add_parser(
+        "serve", parents=[engine_parent],
+        help="run the sweep engine as a long-lived HTTP job service "
+             "(submit SweepRequest payloads, poll outcomes)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (default 8642; 0 = ephemeral)")
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
     val = sub.add_parser(
-        "validate",
+        "validate", parents=[engine_parent],
         help="tabulate analytical vs bit-accurate measured noise",
     )
     val.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
@@ -138,7 +168,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--sim-seed", type=int, default=424242, metavar="SEED",
         help="random seed of the stimulus set (default 424242)",
     )
-    _sim_backend_arg(val)
     _grid_and_out_args(val, with_grid=False)
 
     gen = sub.add_parser("codegen", help="emit fixed-point C code")
@@ -159,16 +188,60 @@ def _kernel_target_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", default="xentium")
 
 
-def _sim_backend_arg(parser: argparse.ArgumentParser) -> None:
+def _json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable registry catalog (the exact "
+             "payload of the serve daemon's GET /registries)",
+    )
+
+
+def _sim_backend_parent() -> argparse.ArgumentParser:
     from repro.ir.backend import available_backends
 
-    parser.add_argument(
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--sim-backend", default=None, metavar="BACKEND",
         choices=available_backends(),
         help="evaluation backend for simulation-based steps "
              f"({'/'.join(available_backends())}; default batch — "
              "bit-identical to scalar, vectorized)",
     )
+    return parent
+
+
+def _engine_parent(
+    sim_parent: argparse.ArgumentParser,
+) -> argparse.ArgumentParser:
+    """The shared engine flags, declared exactly once.
+
+    Every sweep-backed subcommand inherits this parent, so
+    ``--jobs/--backend/--cache-dir/--no-cache/--sim-backend`` spell,
+    default and document identically everywhere, and
+    :meth:`repro.api.SweepRequest.from_args` can materialize any of
+    those namespaces the same way.
+    """
+    parent = argparse.ArgumentParser(add_help=False, parents=[sim_parent])
+    parent.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for cell evaluation (default 1 = serial)",
+    )
+    parent.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="execution backend dispatching the missing cells "
+             "(serial/process/chunked/workqueue; default: serial for "
+             "--jobs 1, process otherwise — chunked amortizes IPC per "
+             "kernel-major chunk, workqueue adds leases/heartbeats/"
+             "retries and survives worker deaths)",
+    )
+    parent.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="sweep result cache directory "
+             "(default ~/.cache/repro/sweep or $REPRO_CACHE_DIR)",
+    )
+    parent.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache entirely")
+    return parent
 
 
 def _grid_and_out_args(
@@ -181,24 +254,6 @@ def _grid_and_out_args(
         )
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for CSV/JSON copies of the results")
-    parser.add_argument(
-        "--jobs", "-j", type=int, default=1,
-        help="worker processes for cell evaluation (default 1 = serial)",
-    )
-    parser.add_argument(
-        "--backend", default=None, metavar="BACKEND",
-        help="execution backend dispatching the missing cells "
-             "(serial/process/chunked; default: serial for --jobs 1, "
-             "process otherwise — chunked amortizes IPC per kernel-major "
-             "chunk and lets workers share --cache-dir across hosts)",
-    )
-    parser.add_argument(
-        "--cache-dir", type=Path, default=None,
-        help="sweep result cache directory "
-             "(default ~/.cache/repro/sweep or $REPRO_CACHE_DIR)",
-    )
-    parser.add_argument("--no-cache", action="store_true",
-                        help="skip the on-disk result cache entirely")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,8 +274,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "kernels":
+        from repro.api import registry_listing
         from repro.kernels import kernel_catalog
 
+        if args.as_json:
+            print(json.dumps(registry_listing(), indent=2, sort_keys=True))
+            return 0
         catalog = kernel_catalog()
         width = max(len(name) for name in catalog)
         for name in sorted(catalog):
@@ -229,37 +288,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "flows":
-        from repro.experiments.backends import (
-            available_execution_backends,
-            get_execution_backend,
-        )
-        from repro.ir.backend import available_backends, get_backend
-        from repro.pipeline import available_flows, get_flow
-        from repro.wlo.registry import available_wlo_engines
-
-        width = max(len(name) for name in available_flows())
-        for name in available_flows():
-            spec = get_flow(name)
-            print(f"{name:<{width}}  {spec.description}")
-            print(f"{'':<{width}}    passes: {' -> '.join(spec.pass_names())}")
-        print(f"\nWLO engines: {', '.join(available_wlo_engines())}")
-        backends = ", ".join(
-            f"{name} ({get_backend(name).description})"
-            for name in available_backends()
-        )
-        print(f"Simulation backends: {backends}")
-        dispatchers = ", ".join(
-            f"{name} ({get_execution_backend(name).description})"
-            for name in available_execution_backends()
-        )
-        print(f"Execution backends: {dispatchers}")
-        return 0
-
+        return _cmd_flows(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "codegen":
         return _cmd_codegen(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
 
+    from repro.api import SweepRequest
     from repro.experiments import (
         PAPER_CONSTRAINT_GRID,
         ablation_wlo_engines,
@@ -272,31 +309,36 @@ def _dispatch(args: argparse.Namespace) -> int:
         validation_table,
     )
 
-    runner = _make_runner(args)
+    request = SweepRequest.from_args(args).validate()
+    runner = _make_runner(request)
     grid = tuple(getattr(args, "grid", None) or PAPER_CONSTRAINT_GRID)
 
     if args.command == "sweep":
-        return _cmd_sweep(args, runner, grid)
+        return _cmd_sweep(args, request, runner)
     if args.command == "fig4":
-        print(render_fig4(runner, tuple(args.kernels), tuple(args.targets), grid))
-        _export(args, fig4_table(runner, tuple(args.kernels),
-                                 tuple(args.targets), grid), "fig4")
+        print(render_fig4(runner, request.kernels, request.targets, grid,
+                          sim_backend=request.sim_backend))
+        _export(args, fig4_table(runner, request.kernels, request.targets,
+                                 grid, sim_backend=request.sim_backend),
+                "fig4")
         return 0
     if args.command == "table1":
-        table = table1(runner, grid=grid)
+        table = table1(runner, grid=grid, sim_backend=request.sim_backend)
         print(table.render())
         _export(args, table, "table1")
         return 0
     if args.command == "fig6":
-        print(render_fig6(runner, grid=grid))
-        _export(args, fig6_table(runner, grid=grid), "fig6")
+        print(render_fig6(runner, grid=grid, sim_backend=request.sim_backend))
+        _export(args, fig6_table(runner, grid=grid,
+                                 sim_backend=request.sim_backend), "fig6")
         return 0
     if args.command == "validate":
         from repro.ir.backend import DEFAULT_BACKEND
 
         table = validation_table(
-            runner, tuple(args.kernels), n_stimuli=args.stimuli,
-            seed=args.sim_seed, backend=args.sim_backend or DEFAULT_BACKEND,
+            runner, request.kernels, n_stimuli=args.stimuli,
+            seed=args.sim_seed,
+            backend=request.sim_backend or DEFAULT_BACKEND,
         )
         print(table.render())
         _export(args, table, "model_validation")
@@ -313,28 +355,40 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise ReproError(f"unhandled command {args.command!r}")
 
 
-def _make_runner(args: argparse.Namespace):
-    """An engine-backed runner honouring the shared engine flags
-    (--jobs/--backend/--cache-dir/--no-cache)."""
-    from repro.experiments import ExperimentRunner, SweepCache
-    from repro.experiments.backends import get_execution_backend
+def _cmd_flows(args: argparse.Namespace) -> int:
+    from repro.api import registry_listing
+
+    listing = registry_listing()
+    if args.as_json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    width = max(len(flow["name"]) for flow in listing["flows"])
+    for flow in listing["flows"]:
+        print(f"{flow['name']:<{width}}  {flow['description']}")
+        print(f"{'':<{width}}    passes: {' -> '.join(flow['passes'])}")
+    print(f"\nWLO engines: {', '.join(listing['wlo_engines'])}")
+    backends = ", ".join(
+        f"{b['name']} ({b['description']})" for b in listing["sim_backends"]
+    )
+    print(f"Simulation backends: {backends}")
+    dispatchers = ", ".join(
+        f"{b['name']} ({b['description']})"
+        for b in listing["execution_backends"]
+    )
+    print(f"Execution backends: {dispatchers}")
+    return 0
+
+
+def _make_runner(request):
+    """An engine-backed runner honouring the request's execution
+    options (--jobs/--backend/--cache-dir/--no-cache)."""
+    from repro.experiments import ExperimentRunner
     from repro.report import ProgressPrinter
 
-    backend = getattr(args, "backend", None)
-    if backend is not None:
-        get_execution_backend(backend)  # validate, listing alternatives
-    cache = None
-    if not getattr(args, "no_cache", False):
-        cache = SweepCache(getattr(args, "cache_dir", None))
-    return ExperimentRunner(
-        jobs=getattr(args, "jobs", 1),
-        cache=cache,
-        progress=ProgressPrinter(),
-        backend=backend,
-    )
+    return ExperimentRunner.from_request(request, progress=ProgressPrinter())
 
 
-def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int:
+def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
     """Run a grid slice through the engine and print the flat table.
 
     Fault-tolerant: a failing cell (e.g. an infeasible constraint)
@@ -343,28 +397,13 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
     and the exit status is non-zero only after everything completable
     completed.
     """
-    import time
-
-    from repro.experiments import SweepPlan
-    from repro.pipeline import get_flow
     from repro.report import TextTable
-    from repro.wlo.registry import get_wlo_engine
 
-    get_flow(args.flow)  # validate names up front, listing alternatives
-    get_wlo_engine(args.wlo)
-    only = tuple(args.only) if args.only else None
-    started = time.perf_counter()
-    stats = runner.prefetch(
-        tuple(args.kernels), tuple(args.targets), grid, wlo=args.wlo,
-        only=only, flow=args.flow,
+    report = runner.submit(request)
+    order = {req: i for i, req in enumerate(request.plan(runner.config).requests)}
+    outcomes = sorted(
+        report.outcomes, key=lambda o: order[report.cell_request(o)]
     )
-    elapsed = time.perf_counter() - started
-
-    plan = SweepPlan.build(
-        runner.config, args.kernels, args.targets, grid, args.wlo, only,
-        args.flow,
-    )
-    failed = {request: error for request, error in stats.failures}
     table = TextTable(
         headers=(
             "kernel", "target", "constraint_db", "wlo", "flow",
@@ -373,63 +412,84 @@ def _cmd_sweep(args: argparse.Namespace, runner, grid: tuple[float, ...]) -> int
         ),
         title="Sweep — (kernel × target × constraint) cells",
     )
-    for request in plan.requests:
-        if request in failed:
+    failures = TextTable(
+        headers=("kernel", "target", "constraint_db", "wlo", "flow",
+                 "error"),
+        title="Failed cells — completed cells above were kept and cached",
+    )
+    for outcome in outcomes:
+        cell_request = report.cell_request(outcome)
+        cell = report.cell(outcome)
+        if cell is None:
+            failures.add_row(
+                cell_request.kernel, cell_request.target,
+                cell_request.constraint_db, cell_request.wlo,
+                cell_request.flow, outcome["error"],
+            )
             continue
-        cell = runner.cell(
-            request.kernel, request.target, request.constraint_db,
-            request.wlo, request.flow,
-        )
         table.add_row(
-            cell.kernel, cell.target, cell.constraint_db, request.wlo,
-            request.flow,
+            cell.kernel, cell.target, cell.constraint_db, cell_request.wlo,
+            cell_request.flow,
             cell.scalar_cycles,
             round(cell.wlo_first_speedup, 3),
             round(cell.wlo_slp_speedup, 3),
             round(cell.float_speedup, 3),
         )
     print(table.render())
+    failed = report.counts.get("failed", 0)
     if failed:
-        failures = TextTable(
-            headers=("kernel", "target", "constraint_db", "wlo", "flow",
-                     "error"),
-            title="Failed cells — completed cells above were kept and cached",
-        )
-        for request, error in stats.failures:
-            failures.add_row(
-                request.kernel, request.target, request.constraint_db,
-                request.wlo, request.flow, error,
-            )
         print()
         print(failures.render())
-    print(f"\n{stats.summary()} in {elapsed:.1f}s")
+    stats_text = (
+        f"{len(report.outcomes)} cells: {report.counts.get('computed', 0)} "
+        f"computed, {report.counts.get('cache', 0)} from disk cache, "
+        f"{report.counts.get('memo', 0)} memoized"
+    )
+    if failed:
+        stats_text += f", {failed} failed"
+    print(f"\n{stats_text} in {report.elapsed_s:.1f}s")
     _export(args, table, "sweep")
     return 1 if failed else 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flows.common import FlowResult
-    from repro.kernels import kernel_by_name
-    from repro.pipeline import execute_flow, get_flow
-    from repro.targets import get_target
-    from repro.wlo.registry import get_wlo_engine
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP job service; the engine flags become the
+    process-wide request defaults that submitted payloads may
+    override per job."""
+    from repro.api import SweepRequest
+    from repro.serve import SweepService, make_server
 
-    program = kernel_by_name(args.kernel)
-    target = get_target(args.target)
-    spec = get_flow(args.flow)  # validates the name, listing alternatives
-    overrides = {}
-    if args.wlo is not None:
-        get_wlo_engine(args.wlo)  # validates the engine, listing engines
-        overrides["wlo"] = args.wlo
-    if args.sim_backend is not None and "sim_backend" in spec.params:
-        # Flows without simulation-backed passes (e.g. float) take no
-        # backend; the flag is a no-op for them rather than an error.
-        overrides["sim_backend"] = args.sim_backend
-    result, state = execute_flow(
-        args.flow, program, target,
-        args.constraint if spec.needs_constraint else None,
-        **overrides,
+    defaults = SweepRequest.from_args(args).validate()
+    service = SweepService(
+        defaults={
+            "jobs": defaults.jobs,
+            "backend": defaults.backend,
+            "cache_dir": defaults.cache_dir,
+            "no_cache": defaults.no_cache,
+            "sim_backend": defaults.sim_backend,
+        }
     )
+    server = make_server(args.host, args.port, service, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port}")
+    print("  POST /jobs              submit a SweepRequest payload")
+    print("  GET  /jobs/<id>/outcomes?since=N   poll results")
+    print("  GET  /registries        list flows/engines/backends/kernels")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import RunRequest
+    from repro.flows.common import FlowResult
+
+    request = RunRequest.from_args(args)
+    result, state = request.execute()
     print(result.summary())
     if isinstance(result, FlowResult) and result.spec is not None:
         print(result.spec.describe())

@@ -3,12 +3,21 @@
 Every error raised by the library derives from :class:`ReproError` so
 applications can catch library failures with a single except clause
 while still discriminating on the specific subclass when needed.
+
+:func:`unknown_name_error` builds the one uniform "unknown name"
+message every registry lookup uses (flows, WLO engines, simulation
+backends, execution backends, kernels, targets), so a typo anywhere —
+CLI flag, Python call or wire request — always answers with the
+available alternatives in the same shape.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 __all__ = [
     "ReproError",
+    "unknown_name_error",
     "IRError",
     "ValidationError",
     "InterpreterError",
@@ -89,3 +98,24 @@ class CodegenError(ReproError):
 
 class FlowError(ReproError):
     """End-to-end compilation flow failure."""
+
+
+def unknown_name_error(
+    error_cls: type[ReproError],
+    kind: str,
+    name: object,
+    available: Iterable[str],
+) -> ReproError:
+    """The standard unknown-name error of every registry lookup.
+
+    Always lists the available alternatives, sorted and comma-joined::
+
+        unknown flow 'warp'; available: float, wlo-first, wlo-slp, ...
+
+    Registries raise their own :class:`ReproError` subclass
+    (``error_cls``) so callers can still discriminate, but the message
+    shape is identical everywhere — asserted by the format tests in
+    ``tests/test_api.py``.
+    """
+    choices = ", ".join(sorted(available))
+    return error_cls(f"unknown {kind} {name!r}; available: {choices}")

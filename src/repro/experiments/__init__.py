@@ -18,6 +18,12 @@ Architecture (one layer per module):
   ``chunked`` (kernel-major chunk dispatch whose workers load/store
   the shared disk cache directly, enabling multi-host cooperative
   sweeps over one ``--cache-dir``).
+* :mod:`~repro.experiments.workqueue` — the fifth backend:
+  ``workqueue``, an active coordinator with leased pull-based
+  workers — per-worker heartbeats, lease reclaim from dead/stalled
+  workers, failed-cell retries with exponential backoff, and
+  cache-first assignment.  ``repro serve`` wraps it in a long-lived
+  HTTP job service (:mod:`repro.serve`).
 * :mod:`~repro.experiments.cache` — the persistent result store: one
   JSON file per cell, keyed by a content hash of the kernel config,
   the cell key and the flow code version, so semantic code edits
@@ -74,6 +80,10 @@ from repro.experiments.runner import ExperimentRunner
 from repro.experiments.table1 import TABLE1_TARGETS, table1
 from repro.experiments.validation import validation_table
 
+# Imported last, for its registration side effect: workqueue.py builds
+# on backends.py (never the other way around — that would be a cycle).
+from repro.experiments.workqueue import WorkQueueBackend, WorkQueueScheduler
+
 __all__ = [
     "Cell",
     "CellOutcome",
@@ -90,6 +100,8 @@ __all__ = [
     "SweepPlan",
     "SweepStats",
     "TABLE1_TARGETS",
+    "WorkQueueBackend",
+    "WorkQueueScheduler",
     "ablation_quant_mode",
     "ablation_wlo_engines",
     "ablation_wlo_slp_features",

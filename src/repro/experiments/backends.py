@@ -44,7 +44,7 @@ from typing import Iterator
 
 import pickle
 
-from repro.errors import ExecutionBackendError
+from repro.errors import ExecutionBackendError, unknown_name_error
 from repro.experiments.engine import (
     Cell,
     CellRequest,
@@ -405,9 +405,9 @@ def get_execution_backend(name: str) -> ExecutionBackend:
     """Look an execution backend up by name (case-insensitive)."""
     found = _EXECUTION_BACKENDS.get(name.lower())
     if found is None:
-        raise ExecutionBackendError(
-            f"unknown execution backend {name!r}; "
-            f"available: {available_execution_backends()}"
+        raise unknown_name_error(
+            ExecutionBackendError, "execution backend", name,
+            available_execution_backends(),
         )
     return found
 

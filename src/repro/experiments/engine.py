@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
-from repro.errors import FlowError
+from repro.errors import FlowError, unknown_name_error
 from repro.flows.common import AnalysisContext
 from repro.flows.floatflow import run_float
 from repro.flows.wlo_first import WloFirstResult
@@ -122,6 +122,11 @@ class CellRequest:
     constraint_db: float
     wlo: str = "tabu"
     flow: str = "wlo-slp"
+    #: Simulation-backend override for the cell's simulation-backed
+    #: passes; ``""`` (the default) keeps each flow's declared backend.
+    #: A string rather than ``None`` so ``order=True`` comparisons and
+    #: JSON round-trips stay total.
+    sim_backend: str = ""
 
 
 @dataclass
@@ -176,8 +181,8 @@ def kernel_programs(config: KernelConfig, kernel: str) -> tuple:
     if found is None:
         builders = config.builders()
         if kernel not in builders:
-            raise FlowError(
-                f"unknown kernel {kernel!r}; have {config.kernel_names}"
+            raise unknown_name_error(
+                FlowError, "kernel", kernel, config.kernel_names
             )
         build, build_twin = builders[kernel]
         found = (build(), build_twin())
@@ -229,16 +234,34 @@ def cell_pipeline_signature(request: CellRequest) -> dict[str, list[str]]:
         _SIGNATURES[0] = generation
         _SIGNATURES[1] = {}
     memo = _SIGNATURES[1]
-    key = (request.wlo, request.flow)
+    key = (request.wlo, request.flow, request.sim_backend)
     found = memo.get(key)
     if found is None:
         found = {
             "float": get_flow("float").pass_names(),
-            "baseline": get_flow("wlo-first").pass_names(wlo=request.wlo),
-            "joint": get_flow(request.flow).pass_names(),
+            "baseline": get_flow("wlo-first").pass_names(
+                wlo=request.wlo,
+                **_sim_backend_overrides(get_flow("wlo-first"), request),
+            ),
+            "joint": get_flow(request.flow).pass_names(
+                **_sim_backend_overrides(get_flow(request.flow), request)
+            ),
         }
         memo[key] = found
     return found
+
+
+def _sim_backend_overrides(spec, request: CellRequest) -> dict[str, str]:
+    """The request's sim-backend override, iff the flow takes one.
+
+    Flows without simulation-backed passes (``float``) accept no
+    ``sim_backend`` parameter; for them the request field is a no-op
+    rather than an error — mirroring the CLI's ``--sim-backend``
+    behaviour on ``repro run``.
+    """
+    if request.sim_backend and "sim_backend" in spec.params:
+        return {"sim_backend": request.sim_backend}
+    return {}
 
 
 def evaluate_cell(
@@ -268,10 +291,12 @@ def evaluate_cell(
     baseline = run_flow(
         "wlo-first", program, target, request.constraint_db,
         analysis_program=twin, wlo=request.wlo,
+        **_sim_backend_overrides(get_flow("wlo-first"), request),
     )
     joint = run_flow(
         request.flow, program, target, request.constraint_db,
         analysis_program=twin,
+        **_sim_backend_overrides(get_flow(request.flow), request),
     )
     if isinstance(joint, WloFirstResult):
         joint = joint.simd  # decoupled variants: their SIMD best effort
@@ -314,16 +339,19 @@ class SweepPlan:
         wlo: str = "tabu",
         only: Iterable[str] | None = None,
         flow: str = "wlo-slp",
+        sim_backend: str = "",
     ) -> "SweepPlan":
         """Enumerate (kernel × target × constraint) cells.
 
         ``only`` restricts the grid to ``kernel:target`` pairs (the CLI
         ``--only fir:vex-1`` filter); ``wlo`` and ``flow`` select the
-        baseline WLO engine and the joint flow variant of every cell.
-        Duplicates are dropped and the result is ordered kernel-major
-        so consecutive cells share analysis-pass results — the
-        shared-work deduplication that makes the serial path and each
-        pool worker analyze every kernel once.
+        baseline WLO engine and the joint flow variant of every cell
+        and ``sim_backend`` optionally overrides the simulation backend
+        of every simulation-backed pass.  Duplicates are dropped and
+        the result is ordered kernel-major so consecutive cells share
+        analysis-pass results — the shared-work deduplication that
+        makes the serial path and each pool worker analyze every
+        kernel once.
         """
         pairs = _parse_only(only)
         seen: set[CellRequest] = set()
@@ -334,7 +362,8 @@ class SweepPlan:
                     continue
                 for constraint in grid:
                     request = CellRequest(
-                        kernel, target, float(constraint), wlo, flow
+                        kernel, target, float(constraint), wlo, flow,
+                        sim_backend,
                     )
                     if request not in seen:
                         seen.add(request)

@@ -29,9 +29,10 @@ def fig4_panel(
     kernel: str,
     target: str,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> dict[str, list[tuple[float, float]]]:
     """The two speedup series of one panel."""
-    cells = runner.sweep(kernel, target, grid)
+    cells = runner.sweep(kernel, target, grid, sim_backend=sim_backend)
     return {
         "WLO-FIRST": [(c.constraint_db, c.wlo_first_speedup) for c in cells],
         "WLO-SLP": [(c.constraint_db, c.wlo_slp_speedup) for c in cells],
@@ -43,14 +44,21 @@ def fig4_table(
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     targets: tuple[str, ...] = PAPER_TARGETS,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> TextTable:
     """All panels as one flat table (kernel, target, constraint).
 
-    The prefetch completes (and caches) every completable cell first;
-    if any cell failed, one :class:`~repro.errors.FlowError` then
-    names them all — a re-run after the fix resumes warm.
+    The submitted :class:`~repro.api.SweepRequest` completes (and
+    caches) every completable cell first; if any cell failed, one
+    :class:`~repro.errors.FlowError` then names them all — a re-run
+    after the fix resumes warm.
     """
-    runner.prefetch(kernels, targets, grid).ensure_complete()
+    from repro.api import SweepRequest  # lazy: avoids import cycle
+
+    request = SweepRequest(
+        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    )
+    runner.submit(request).ensure_complete()
     table = TextTable(
         headers=(
             "kernel", "target", "constraint_db",
@@ -61,7 +69,9 @@ def fig4_table(
     )
     for kernel in kernels:
         for target in targets:
-            for cell in runner.sweep(kernel, target, grid):
+            for cell in runner.sweep(
+                kernel, target, grid, sim_backend=sim_backend
+            ):
                 table.add_row(
                     kernel, target, cell.constraint_db,
                     cell.scalar_cycles,
@@ -77,18 +87,26 @@ def render_fig4(
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     targets: tuple[str, ...] = PAPER_TARGETS,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> str:
     """Full text rendering: one ASCII plot per panel plus the table."""
-    runner.prefetch(kernels, targets, grid).ensure_complete()
+    from repro.api import SweepRequest  # lazy: avoids import cycle
+
+    request = SweepRequest(
+        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    )
+    runner.submit(request).ensure_complete()
     sections = []
     for kernel in kernels:
         for target in targets:
-            series = fig4_panel(runner, kernel, target, grid)
+            series = fig4_panel(runner, kernel, target, grid, sim_backend)
             sections.append(line_plot(
                 series,
                 title=f"Fig. 4 panel — {kernel.upper()} on {target}",
                 y_label="speedup",
                 x_label="accuracy constraint (dB)",
             ))
-    sections.append(fig4_table(runner, kernels, targets, grid).render())
+    sections.append(
+        fig4_table(runner, kernels, targets, grid, sim_backend).render()
+    )
     return "\n\n".join(sections)

@@ -22,13 +22,22 @@ def fig6_series(
     target: str,
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> dict[str, list[tuple[float, float]]]:
     """Per-kernel float-to-WLO-SLP speedup series for one target."""
-    runner.prefetch(kernels, (target,), grid).ensure_complete()
+    from repro.api import SweepRequest  # lazy: avoids import cycle
+
+    request = SweepRequest(
+        kernels=kernels, targets=(target,), grid=grid,
+        sim_backend=sim_backend,
+    )
+    runner.submit(request).ensure_complete()
     return {
         kernel.upper(): [
             (cell.constraint_db, cell.float_speedup)
-            for cell in runner.sweep(kernel, target, grid)
+            for cell in runner.sweep(
+                kernel, target, grid, sim_backend=sim_backend
+            )
         ]
         for kernel in kernels
     }
@@ -39,13 +48,19 @@ def fig6_table(
     targets: tuple[str, ...] = FIG6_TARGETS,
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> TextTable:
     """All Fig. 6 points as one flat table.
 
     Completes and caches everything completable before one
     :class:`~repro.errors.FlowError` reports any failed cells.
     """
-    runner.prefetch(kernels, targets, grid).ensure_complete()
+    from repro.api import SweepRequest  # lazy: avoids import cycle
+
+    request = SweepRequest(
+        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    )
+    runner.submit(request).ensure_complete()
     table = TextTable(
         headers=("target", "kernel", "constraint_db", "float_cycles",
                  "wlo_slp_cycles", "speedup"),
@@ -53,7 +68,9 @@ def fig6_table(
     )
     for target in targets:
         for kernel in kernels:
-            for cell in runner.sweep(kernel, target, grid):
+            for cell in runner.sweep(
+                kernel, target, grid, sim_backend=sim_backend
+            ):
                 table.add_row(
                     target, kernel, cell.constraint_db,
                     cell.float_cycles, cell.wlo_slp_cycles,
@@ -67,17 +84,25 @@ def render_fig6(
     targets: tuple[str, ...] = FIG6_TARGETS,
     kernels: tuple[str, ...] = ("fir", "iir", "conv"),
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
+    sim_backend: str = "",
 ) -> str:
     """ASCII plots per target plus the flat table."""
-    runner.prefetch(kernels, targets, grid).ensure_complete()
+    from repro.api import SweepRequest  # lazy: avoids import cycle
+
+    request = SweepRequest(
+        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    )
+    runner.submit(request).ensure_complete()
     sections = [
         line_plot(
-            fig6_series(runner, target, kernels, grid),
+            fig6_series(runner, target, kernels, grid, sim_backend),
             title=f"Fig. 6 — speedup of WLO-SLP over floating-point on {target}",
             y_label="speedup",
             x_label="accuracy constraint (dB)",
         )
         for target in targets
     ]
-    sections.append(fig6_table(runner, targets, kernels, grid).render())
+    sections.append(
+        fig6_table(runner, targets, kernels, grid, sim_backend).render()
+    )
     return "\n\n".join(sections)

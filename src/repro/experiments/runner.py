@@ -96,10 +96,11 @@ class ExperimentRunner:
         constraint_db: float,
         wlo: str = "tabu",
         flow: str = "wlo-slp",
+        sim_backend: str = "",
     ) -> Cell:
         """Run (or recall) one sweep cell."""
         request = CellRequest(
-            kernel, target_name, float(constraint_db), wlo, flow
+            kernel, target_name, float(constraint_db), wlo, flow, sim_backend
         )
         found = self._cells.get(request)
         if found is not None:
@@ -125,6 +126,7 @@ class ExperimentRunner:
         grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
         wlo: str = "tabu",
         flow: str = "wlo-slp",
+        sim_backend: str = "",
     ) -> list[Cell]:
         """All cells of one (kernel, target) panel.
 
@@ -134,9 +136,13 @@ class ExperimentRunner:
         second time just to fail again.
         """
         self.prefetch(
-            (kernel,), (target_name,), grid, wlo, flow=flow
+            (kernel,), (target_name,), grid, wlo, flow=flow,
+            sim_backend=sim_backend,
         ).ensure_complete()
-        return [self.cell(kernel, target_name, a, wlo, flow) for a in grid]
+        return [
+            self.cell(kernel, target_name, a, wlo, flow, sim_backend)
+            for a in grid
+        ]
 
     # ------------------------------------------------------------------
     def prefetch(
@@ -147,6 +153,7 @@ class ExperimentRunner:
         wlo: str = "tabu",
         only: tuple[str, ...] | None = None,
         flow: str = "wlo-slp",
+        sim_backend: str = "",
     ) -> SweepStats:
         """Resolve a whole grid through the executor in one batch.
 
@@ -155,7 +162,68 @@ class ExperimentRunner:
         read them back from the memo.  Returns the resolution stats.
         """
         plan = SweepPlan.build(
-            self.config, kernels, targets, grid, wlo, only, flow
+            self.config, kernels, targets, grid, wlo, only, flow, sim_backend
         )
         _, stats = self.executor.run(plan)
         return stats
+
+    # ------------------------------------------------------------------
+    # Typed-request surface (repro.api) — what the CLI, the figure
+    # drivers and the ``repro serve`` service all go through.
+
+    @classmethod
+    def from_request(cls, request, *, progress=None, **config) -> "ExperimentRunner":
+        """Build a runner configured by a :class:`repro.api.SweepRequest`.
+
+        Materializes the request's execution options — ``jobs``, the
+        execution backend, and the cache configuration (``cache_dir``
+        / ``no_cache``) — into a runner; ``config`` forwards kernel
+        sizing overrides (``n_samples`` etc., used by tests for small
+        fast grids).
+        """
+        from repro.experiments.cache import SweepCache
+
+        cache = None
+        if not request.no_cache:
+            cache = SweepCache(request.cache_dir or None)
+        return cls(
+            jobs=request.jobs,
+            cache=cache,
+            progress=progress,
+            backend=request.backend or None,
+            **config,
+        )
+
+    def submit_iter(self, request):
+        """Stream a :class:`repro.api.SweepRequest`'s cells as they
+        resolve; yields :class:`CellOutcome` objects in completion
+        order.  ``submit_iter(...).stats`` is live while streaming —
+        the HTTP service reads it for job progress."""
+        plan = request.plan(self.config)
+        stats = SweepStats()
+
+        class _Stream:
+            def __init__(self, inner):
+                self.stats = stats
+                self._inner = inner
+
+            def __iter__(self):
+                return self._inner
+
+        return _Stream(iter(self.executor.run_iter(plan, stats)))
+
+    def submit(self, request):
+        """Resolve a :class:`repro.api.SweepRequest` into a
+        :class:`repro.api.SweepReport` (outcomes in plan order plus
+        resolution counts)."""
+        import time
+
+        from repro.api import SweepReport
+
+        started = time.perf_counter()
+        stream = self.submit_iter(request)
+        outcomes = list(stream)
+        return SweepReport.build(
+            request, outcomes, stream.stats,
+            elapsed_s=time.perf_counter() - started,
+        )

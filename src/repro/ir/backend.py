@@ -29,7 +29,7 @@ from typing import Callable, Mapping, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import BackendError
+from repro.errors import BackendError, unknown_name_error
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fixedpoint.fxpinterp import FxpConfig
@@ -142,9 +142,8 @@ def get_backend(name: str) -> EvaluationBackend:
     """Look a backend up by name (case-insensitive)."""
     found = _BACKENDS.get(name.lower())
     if found is None:
-        raise BackendError(
-            f"unknown evaluation backend {name!r}; "
-            f"available: {available_backends()}"
+        raise unknown_name_error(
+            BackendError, "evaluation backend", name, available_backends()
         )
     return found
 

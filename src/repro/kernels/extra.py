@@ -8,7 +8,7 @@ scale-offset), and small enough for quick-start material.
 from __future__ import annotations
 
 
-from repro.errors import IRError
+from repro.errors import IRError, unknown_name_error
 from repro.ir.builder import ProgramBuilder
 from repro.ir.index import loop_index
 from repro.ir.program import Program
@@ -141,7 +141,5 @@ def kernel_by_name(name: str, **kwargs) -> Program:
     """Factory used by the CLI: any :func:`kernel_catalog` entry."""
     catalog = kernel_catalog()
     if name not in catalog:
-        raise IRError(
-            f"unknown kernel {name!r}; pick from {sorted(catalog)}"
-        )
+        raise unknown_name_error(IRError, "kernel", name, catalog)
     return catalog[name][0](**kwargs)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import FlowError
+from repro.errors import FlowError, unknown_name_error
 from repro.ir.program import Program
 from repro.pipeline.cache import PassCache
 from repro.pipeline.passes import Pass
@@ -131,9 +131,7 @@ def get_flow(name: str) -> FlowSpec:
     """Look a flow up by name (case-insensitive)."""
     spec = _FLOWS.get(name.lower())
     if spec is None:
-        raise FlowError(
-            f"unknown flow {name!r}; available: {available_flows()}"
-        )
+        raise unknown_name_error(FlowError, "flow", name, available_flows())
     return spec
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import TargetError
+from repro.errors import TargetError, unknown_name_error
 from repro.targets.model import TargetModel
 from repro.targets.st240 import st240
 from repro.targets.vex import vex
@@ -24,8 +24,8 @@ def get_target(name: str) -> TargetModel:
     """Build a target model by name (case-insensitive)."""
     factory = _FACTORIES.get(name.lower())
     if factory is None:
-        raise TargetError(
-            f"unknown target {name!r}; available: {available_targets()}"
+        raise unknown_name_error(
+            TargetError, "target", name, available_targets()
         )
     return factory()
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import WLOError
+from repro.errors import WLOError, unknown_name_error
 from repro.wlo.greedy import max_minus_one, min_plus_one
 from repro.wlo.tabu import tabu_wlo
 
@@ -47,8 +47,8 @@ def get_wlo_engine(name: str) -> WloEngine:
     """Look an engine up by name (case-insensitive)."""
     engine = _ENGINES.get(name.lower())
     if engine is None:
-        raise WLOError(
-            f"unknown WLO engine {name!r}; available: {available_wlo_engines()}"
+        raise unknown_name_error(
+            WLOError, "WLO engine", name, available_wlo_engines()
         )
     return engine
 

@@ -285,7 +285,7 @@ class TestExecutionBackends:
 
     def test_registry(self):
         assert available_execution_backends() == [
-            "chunked", "process", "serial"
+            "chunked", "process", "serial", "workqueue"
         ]
         assert get_execution_backend("SERIAL").name == "serial"
         with pytest.raises(
@@ -293,7 +293,9 @@ class TestExecutionBackends:
         ):
             get_execution_backend("warp")
 
-    @pytest.mark.parametrize("backend", ["serial", "process", "chunked"])
+    @pytest.mark.parametrize(
+        "backend", ["serial", "process", "chunked", "workqueue"]
+    )
     def test_failure_is_isolated_and_survivors_persist(
         self, backend, config, faulty_plan, reference_cells, tmp_path
     ):
@@ -606,7 +608,7 @@ class TestSweepCLI:
         from repro.cli import main
 
         rows = {}
-        for backend in ("serial", "chunked"):
+        for backend in ("serial", "chunked", "workqueue"):
             assert main(["sweep", "--only", "fir:xentium", "--grid", "-15",
                          "--backend", backend, "--jobs", "2",
                          "--cache-dir", str(tmp_path / backend)]) == 0
@@ -615,4 +617,4 @@ class TestSweepCLI:
                 line for line in out.splitlines() if line.startswith("   fir")
             ]
             assert rows[backend]
-        assert rows["serial"] == rows["chunked"]
+        assert rows["serial"] == rows["chunked"] == rows["workqueue"]
