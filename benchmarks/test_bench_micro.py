@@ -127,6 +127,62 @@ def test_bench_sim_backend_throughput(runner, results_dir):
     assert fixed_speedup >= 5.0
 
 
+def test_bench_fxp_native_micro(runner, results_dir):
+    """Native int64 tier vs object tier (recorded per PR).
+
+    Same batch interpreter, same vector plan, same stimuli — the only
+    difference is the lane dtype the width proof licenses.  The
+    acceptance bar: the proof engages on the FIR analysis twin, the
+    int64 tier is bit-identical to the object tier, and it is at
+    least 3x faster.
+
+    Deliberately free of the pytest-benchmark fixture so CI can
+    smoke-run it with a bare pytest install.
+    """
+    from conftest import record_bench
+
+    context = runner.context("fir")
+    program = context.program  # paper-sized, so lane work dominates
+    spec = context.fresh_spec()
+    rng = np.random.default_rng(0)
+    stimuli = [
+        {
+            decl.name: rng.uniform(*decl.value_range, size=decl.shape)
+            for decl in program.input_arrays()
+        }
+        for _ in range(8)
+    ]
+    batch = get_backend("batch")
+    assert batch.fixed_tier(program, spec) == "batch[int64]"
+    batch.run_fixed(program, spec, stimuli[:1])  # warm the plan caches
+
+    started = time.perf_counter()
+    native = batch.run_fixed(program, spec, stimuli)
+    native_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    exact = batch.run_fixed(program, spec, stimuli, force_object=True)
+    object_seconds = time.perf_counter() - started
+
+    # Bar 1: the tiers are indistinguishable — not a single bit.
+    for ref, got in zip(exact, native):
+        for name in ref:
+            assert np.array_equal(ref[name], got[name])
+
+    speedup = object_seconds / native_seconds
+    record_bench("fxp_native_micro", {
+        "kernel": "fir",
+        "n_samples": program.arrays["y"].shape[0],
+        "n_stimuli": len(stimuli),
+        "python": platform.python_version(),
+        "tier": batch.fixed_tier(program, spec),
+        "object_seconds": round(object_seconds, 4),
+        "native_seconds": round(native_seconds, 4),
+        "native_speedup": round(speedup, 1),
+    })
+    # Bar 2: the proof must pay for itself — >= 3x over object lanes.
+    assert speedup >= 3.0
+
+
 def test_scheduler_speed(runner, benchmark):
     """List scheduling of the scalar FIR body."""
     context = runner.context("fir")

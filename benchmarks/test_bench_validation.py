@@ -21,7 +21,7 @@ def test_model_validation_table(runner, benchmark, results_dir):
     persist(results_dir, "model_validation", full.render())
     full.to_csv(results_dir / "model_validation.csv")
     # The model must track measurement inside its validity region.
-    for kernel, wl, _a, _m, diff in full.rows:
+    for kernel, wl, _a, _m, diff, _tier in full.rows:
         if kernel == "iir":
             assert abs(diff) < 4.0
         elif wl >= 12:

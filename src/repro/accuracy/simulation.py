@@ -35,7 +35,9 @@ class SimulationAccuracyEvaluator:
     ``n_stimuli`` and ``seed`` control the stimulus set (the CLI
     exposes them as ``--stimuli`` / ``--sim-seed``); ``backend`` names
     the evaluation backend executing both the float references and
-    every fixed-point measurement.
+    every fixed-point measurement.  ``force_object`` pins a multi-tier
+    backend to its exact arbitrary-precision tier (tiers are
+    bit-identical, so this only ever changes wall time).
     """
 
     def __init__(
@@ -46,6 +48,7 @@ class SimulationAccuracyEvaluator:
         config: FxpConfig | None = None,
         discard: int = 0,
         backend: str = DEFAULT_BACKEND,
+        force_object: bool = False,
     ) -> None:
         if n_stimuli < 1:
             raise AccuracyError(
@@ -55,6 +58,7 @@ class SimulationAccuracyEvaluator:
         self.config = config or FxpConfig()
         self.discard = discard
         self.backend = get_backend(backend)
+        self.force_object = force_object
         rng = np.random.default_rng(seed)
         self.stimuli: list[dict[str, np.ndarray]] = []
         for _ in range(n_stimuli):
@@ -69,12 +73,20 @@ class SimulationAccuracyEvaluator:
     def noise_power(self, spec: FixedPointSpec) -> float:
         """Average measured output noise power over the stimuli."""
         measured = self.backend.run_fixed(
-            self.program, spec, self.stimuli, self.config
+            self.program, spec, self.stimuli, self.config,
+            force_object=self.force_object,
         )
         total = 0.0
         for reference, outputs in zip(self.references, measured):
             total += measured_noise_power(reference, outputs, self.discard)
         return total / len(self.stimuli)
+
+    def tier(self, spec: FixedPointSpec) -> str:
+        """Execution-tier label the backend picks for ``spec``
+        (e.g. ``batch[int64]``), honouring ``force_object``."""
+        if self.force_object and self.backend.tiers:
+            return f"{self.backend.name}[object]"
+        return self.backend.fixed_tier(self.program, spec, self.config)
 
     def noise_db(self, spec: FixedPointSpec) -> float:
         """Measured output noise power in dB."""

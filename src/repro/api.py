@@ -497,7 +497,13 @@ def registry_listing() -> dict[str, Any]:
         ],
         "wlo_engines": list(available_wlo_engines()),
         "sim_backends": [
-            {"name": name, "description": get_backend(name).description}
+            {
+                "name": name,
+                "description": get_backend(name).description,
+                # Execution tiers run_fixed may pick between (empty for
+                # single-tier backends); bit-identical by contract.
+                "tiers": [dict(tier) for tier in get_backend(name).tiers],
+            }
             for name in available_backends()
         ],
         "execution_backends": [

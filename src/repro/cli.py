@@ -368,7 +368,13 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         print(f"{'':<{width}}    passes: {' -> '.join(flow['passes'])}")
     print(f"\nWLO engines: {', '.join(listing['wlo_engines'])}")
     backends = ", ".join(
-        f"{b['name']} ({b['description']})" for b in listing["sim_backends"]
+        f"{b['name']} ({b['description']}"
+        + (
+            f"; tiers: {', '.join(t['name'] for t in b['tiers'])}"
+            if b["tiers"] else ""
+        )
+        + ")"
+        for b in listing["sim_backends"]
     )
     print(f"Simulation backends: {backends}")
     dispatchers = ", ".join(
@@ -496,6 +502,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.timings:
         print()
         print(state.timing_report())
+        if isinstance(result, FlowResult) and result.spec is not None:
+            from repro.fixedpoint.widthproof import prove_int64_safe
+            from repro.ir.backend import DEFAULT_BACKEND, get_backend
+            from repro.kernels import kernel_by_name
+
+            backend = get_backend(request.sim_backend or DEFAULT_BACKEND)
+            program = kernel_by_name(request.kernel)
+            tier = backend.fixed_tier(program, result.spec)
+            line = f"fixed-point sim tier: {tier}"
+            if backend.tiers:
+                proof = prove_int64_safe(program, result.spec)
+                line += f" — {proof.describe()}"
+            print(line)
     return 0
 
 

@@ -43,7 +43,7 @@ def validation_table(
     """
     table = TextTable(
         headers=("kernel", "word_length", "analytical_db", "measured_db",
-                 "difference_db"),
+                 "difference_db", "sim_tier"),
         title="Model validation — analytical EVALACC vs bit-accurate simulation",
     )
     for kernel in kernels:
@@ -60,6 +60,6 @@ def validation_table(
             measured = evaluator.noise_db(spec)
             table.add_row(
                 kernel, wl, round(analytical, 2), round(measured, 2),
-                round(analytical - measured, 2),
+                round(analytical - measured, 2), evaluator.tier(spec),
             )
     return table

@@ -6,7 +6,9 @@ bit-accurate interpreter.
 """
 
 from repro.fixedpoint.fxpbatch import (
+    FORCE_OBJECT_ENV,
     BatchFixedPointInterpreter,
+    fixed_point_tier,
     run_fixed_point_batch,
 )
 from repro.fixedpoint.fxpinterp import (
@@ -19,10 +21,12 @@ from repro.fixedpoint.interval import Interval
 from repro.fixedpoint.iwl import assign_iwls, iwl_for_interval, iwl_for_magnitude
 from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.quantize import (
+    I64_SAFE_WL,
     OverflowMode,
     QuantMode,
     apply_overflow,
     apply_overflow_array,
+    apply_overflow_array_i64,
     float_to_mantissa,
     float_to_mantissa_array,
     mantissa_to_float,
@@ -30,6 +34,7 @@ from repro.fixedpoint.quantize import (
     quantize_value,
     requantize,
     requantize_array,
+    requantize_array_i64,
     saturate,
     wrap,
 )
@@ -40,12 +45,15 @@ from repro.fixedpoint.range_analysis import (
     simulation_ranges,
 )
 from repro.fixedpoint.spec import NO_NARROW, FixedPointSpec, SlotMap
+from repro.fixedpoint.widthproof import WidthProof, prove_int64_safe
 
 __all__ = [
     "BatchFixedPointInterpreter",
+    "FORCE_OBJECT_ENV",
     "FixedPointInterpreter",
     "FixedPointSpec",
     "FxpConfig",
+    "I64_SAFE_WL",
     "Interval",
     "NO_NARROW",
     "OverflowMode",
@@ -53,11 +61,14 @@ __all__ = [
     "QuantMode",
     "RangeResult",
     "SlotMap",
+    "WidthProof",
     "analyze_ranges",
     "apply_overflow",
     "apply_overflow_array",
+    "apply_overflow_array_i64",
     "assign_iwls",
     "check_spec_compatible",
+    "fixed_point_tier",
     "float_to_mantissa",
     "float_to_mantissa_array",
     "interval_ranges",
@@ -65,9 +76,11 @@ __all__ = [
     "iwl_for_magnitude",
     "mantissa_to_float",
     "mantissa_to_float_array",
+    "prove_int64_safe",
     "quantize_value",
     "requantize",
     "requantize_array",
+    "requantize_array_i64",
     "run_fixed_point",
     "run_fixed_point_batch",
     "saturate",

@@ -11,6 +11,14 @@ mantissas at once (``dtype=object`` ndarrays holding Python ints, so
 exactness is preserved); they are the per-op workhorses of the batch
 fixed-point interpreter (:mod:`repro.fixedpoint.fxpbatch`) and are
 bit-identical to mapping their scalar counterpart over every element.
+
+The ``*_array_i64`` variants run the identical core on native
+``int64`` ndarrays.  They are *not* exact on arbitrary inputs — the
+caller must hold a width proof (:mod:`repro.fixedpoint.widthproof`)
+that every value, rounding offset and wrap constant fits a signed
+64-bit word, in which case numpy's int64 shifts, masks and selects
+coincide with Python's arbitrary-precision operators and the results
+are bit-identical to the object-dtype tier.
 """
 
 from __future__ import annotations
@@ -23,20 +31,28 @@ import numpy as np
 from repro.errors import FixedPointError, OverflowPolicyError
 
 __all__ = [
+    "I64_SAFE_WL",
     "QuantMode",
     "OverflowMode",
     "requantize",
     "requantize_array",
+    "requantize_array_i64",
     "wrap",
     "saturate",
     "apply_overflow",
     "apply_overflow_array",
+    "apply_overflow_array_i64",
     "float_to_mantissa",
     "float_to_mantissa_array",
     "mantissa_to_float",
     "mantissa_to_float_array",
     "quantize_value",
 ]
+
+#: Largest word length whose wrap/saturate constants (``2**wl`` span,
+#: ``±2**(wl-1)`` clamps) are themselves guaranteed representable in
+#: the transient arithmetic of an int64 lane.
+I64_SAFE_WL = 62
 
 
 class QuantMode(str, enum.Enum):
@@ -58,18 +74,30 @@ class OverflowMode(str, enum.Enum):
     ERROR = "error"
 
 
+def _shift_mantissas(mantissas, f_from: int, f_to: int, mode: QuantMode):
+    """The one requantization core, shared by every tier.
+
+    Polymorphic over Python ints, object-dtype ndarrays of Python ints
+    and native ``int64`` ndarrays: ``<<``/``>>``/``+`` mean the same
+    thing on all three (arithmetic shifts, ``>>`` floors), so a single
+    body keeps the scalar, exact-array and native-array primitives
+    bit-identical by construction.
+    """
+    if f_to >= f_from:
+        return mantissas << (f_to - f_from)
+    shift = f_from - f_to
+    if mode is QuantMode.ROUND:
+        return (mantissas + (1 << (shift - 1))) >> shift
+    return mantissas >> shift  # >> floors: two's complement truncation.
+
+
 def requantize(mantissa: int, f_from: int, f_to: int, mode: QuantMode) -> int:
     """Re-express ``mantissa`` (``f_from`` fractional bits) with ``f_to``.
 
     Increasing precision is exact (left shift); decreasing precision
     discards bits according to ``mode``.
     """
-    if f_to >= f_from:
-        return mantissa << (f_to - f_from)
-    shift = f_from - f_to
-    if mode is QuantMode.ROUND:
-        return (mantissa + (1 << (shift - 1))) >> shift
-    return mantissa >> shift  # Python >> floors: two's complement truncation.
+    return _shift_mantissas(mantissa, f_from, f_to, mode)
 
 
 def wrap(mantissa: int, wl: int) -> int:
@@ -129,22 +157,28 @@ def mantissa_to_float(mantissa: int, fwl: int) -> float:
 
 def requantize_array(mantissas, f_from: int, f_to: int, mode: QuantMode):
     """Vector :func:`requantize`: object ndarray (or scalar int) in/out."""
-    if f_to >= f_from:
-        return mantissas << (f_to - f_from)
-    shift = f_from - f_to
-    if mode is QuantMode.ROUND:
-        return (mantissas + (1 << (shift - 1))) >> shift
-    return mantissas >> shift
+    return _shift_mantissas(mantissas, f_from, f_to, mode)
 
 
-def apply_overflow_array(mantissas, wl: int, mode: OverflowMode):
-    """Vector :func:`apply_overflow`."""
-    if not isinstance(mantissas, np.ndarray):
-        # A plain Python int (e.g. a constant chain): keep it exact —
-        # np.where would narrow it to a fixed-width numpy integer.
-        return apply_overflow(mantissas, wl, mode)
-    if wl < 1:
-        raise FixedPointError(f"word length must be >= 1, got {wl}")
+def requantize_array_i64(mantissas, f_from: int, f_to: int, mode: QuantMode):
+    """:func:`requantize_array` on native ``int64`` lanes.
+
+    Same core; sound only under a width proof guaranteeing the shift
+    distance is at most :data:`I64_SAFE_WL` and that the shifted value
+    (plus the ``ROUND`` half-ulp offset) stays within int64.
+    """
+    return _shift_mantissas(mantissas, f_from, f_to, mode)
+
+
+def _fold_overflow_array(mantissas: np.ndarray, wl: int, mode: OverflowMode):
+    """The one array overflow core (object-dtype or ``int64`` lanes).
+
+    Elementwise identical to :func:`apply_overflow`: the mask/compare
+    wrap fold and the clamp select mean the same thing under Python's
+    arbitrary-precision integers and under int64 two's complement, as
+    long as ``2**wl`` fits the transient arithmetic (the ``_i64``
+    wrapper enforces that bound).
+    """
     span = 1 << wl
 
     def wrap_fold(values):
@@ -163,6 +197,37 @@ def apply_overflow_array(mantissas, wl: int, mode: OverflowMode):
             f"mantissa array does not fit {wl} bits"
         )
     return mantissas
+
+
+def apply_overflow_array(mantissas, wl: int, mode: OverflowMode):
+    """Vector :func:`apply_overflow`."""
+    if not isinstance(mantissas, np.ndarray):
+        # A plain Python int (e.g. a constant chain): keep it exact —
+        # np.where would narrow it to a fixed-width numpy integer.
+        return apply_overflow(mantissas, wl, mode)
+    if wl < 1:
+        raise FixedPointError(f"word length must be >= 1, got {wl}")
+    return _fold_overflow_array(mantissas, wl, mode)
+
+
+def apply_overflow_array_i64(mantissas, wl: int, mode: OverflowMode):
+    """:func:`apply_overflow_array` on native ``int64`` lanes.
+
+    Same core, plus the native-tier guard: the wrap span and clamp
+    constants of ``wl`` must themselves fit int64 transients, so word
+    lengths beyond :data:`I64_SAFE_WL` are rejected (the width proof
+    never certifies such a program for this tier).
+    """
+    if not isinstance(mantissas, np.ndarray):
+        # Scalar chains (constants, pre-write variables) stay Python
+        # ints in the native tier too — exact by definition.
+        return apply_overflow(mantissas, wl, mode)
+    if not 1 <= wl <= I64_SAFE_WL:
+        raise FixedPointError(
+            f"int64 lanes cannot fold overflow at wl={wl} "
+            f"(need 1 <= wl <= {I64_SAFE_WL})"
+        )
+    return _fold_overflow_array(mantissas, wl, mode)
 
 
 def float_to_mantissa_array(values, fwl: int, mode: QuantMode) -> np.ndarray:

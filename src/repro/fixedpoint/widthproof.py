@@ -1,0 +1,358 @@
+"""Static int64 width proof for the fixed-point batch interpreter.
+
+The exact batch tier keeps every mantissa in an object-dtype ndarray
+of Python ints, which makes it immune to overflow but roughly an order
+of magnitude slower than native numpy lanes.  This module is the
+soundness side of the native fast path: a per-program static pass that
+bounds every intermediate mantissa the batch interpreter can ever
+materialize — including the *transients* the runtime never stores
+(full-precision multiply products, pre-overflow sums, the half-ulp
+offset of ``ROUND`` requantization) — and certifies when all of them
+fit a signed 64-bit word, so the whole program may run on ``int64``
+numpy lanes via the ``*_array_i64`` primitives of
+:mod:`repro.fixedpoint.quantize`.
+
+How range analysis enters the proof
+-----------------------------------
+The proof combines two sources of bounds, mirroring how the paper's
+pipeline derives formats in the first place:
+
+* **Word-length clamps.**  Every value written through
+  ``apply_overflow`` at a slot of word length ``wl`` lands in
+  ``[-2**(wl-1), 2**(wl-1) - 1]`` under all three overflow policies.
+  This is the unconditional anchor: it holds for arbitrary stimuli,
+  so the proof never trusts the float-domain value ranges directly.
+* **Range-derived formats.**  The ``iwl``/``fwl`` assignments of the
+  spec are themselves products of range analysis
+  (:func:`repro.fixedpoint.iwl.assign_iwls` over
+  :func:`repro.fixedpoint.range_analysis.analyze_ranges`), so the
+  clamp widths the proof propagates already encode the measured or
+  interval-derived dynamic range of every node.  Coefficient arrays
+  that are never stored into are additionally bounded by their exact
+  quantized values, which is where tight compile-time ranges shave
+  whole bits off multiply transients.
+
+Interval propagation is exact Python-int arithmetic over the same op
+semantics the interpreters implement (``fxpinterp``/``fxpbatch``), so
+the proof can never be *tighter* than reality — only equal or wider —
+which is the direction soundness needs.  A program that fails the
+proof is simply executed on the object tier; the proof result is never
+allowed to change numerics, only the lane dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fixedpoint.fxpinterp import FxpConfig
+from repro.fixedpoint.quantize import (
+    I64_SAFE_WL,
+    OverflowMode,
+    QuantMode,
+    float_to_mantissa,
+)
+from repro.fixedpoint.spec import FixedPointSpec
+from repro.ir.optypes import OpKind
+from repro.ir.program import Program
+from repro.ir.symbols import SymbolKind
+
+__all__ = ["WidthProof", "prove_int64_safe", "I64_MAX", "I64_MIN", "MAX_SHIFT"]
+
+I64_MAX = (1 << 63) - 1
+I64_MIN = -(1 << 63)
+
+#: Largest shift distance the native tier may issue: numpy's int64
+#: shifts are undefined at the register width, and the ``ROUND``
+#: offset ``1 << (shift - 1)`` must itself stay an int64 transient.
+MAX_SHIFT = 62
+
+#: Cap on collected failure reasons (diagnostics, not an exhaustive
+#: audit — one reason already forces the object tier).
+_MAX_REASONS = 12
+
+
+@dataclass(frozen=True)
+class WidthProof:
+    """Outcome of :func:`prove_int64_safe` for one (program, spec, config).
+
+    ``peak_bound`` is the largest absolute mantissa bound encountered
+    across every value and transient (meaningful for both outcomes:
+    when unsafe it shows by how far the program misses the word).
+    """
+
+    safe: bool
+    peak_bound: int
+    reasons: tuple[str, ...]
+
+    def describe(self) -> str:
+        """One-line human rendition, used by CLI surfaces."""
+        bits = max(self.peak_bound, 1).bit_length()
+        if self.safe:
+            return f"int64-safe (peak transient < 2^{bits})"
+        return f"object fallback: {'; '.join(self.reasons)}"
+
+
+class _IntervalChecker:
+    """Mutable proof state: peak tracking + failure collection."""
+
+    def __init__(self) -> None:
+        self.peak = 0
+        self.reasons: list[str] = []
+
+    def note(self, lo: int, hi: int, what: str) -> tuple[int, int]:
+        """Record a transient interval; flag it if it escapes int64."""
+        self.peak = max(self.peak, -lo, hi)
+        if lo < I64_MIN or hi > I64_MAX:
+            bits = max(-lo, hi).bit_length()
+            self._fail(f"{what}: transient bound reaches 2^{bits - 1}+")
+        return (lo, hi)
+
+    def check_shift(self, shift: int, what: str) -> None:
+        if shift > MAX_SHIFT:
+            self._fail(f"{what}: requantize shift {shift} > {MAX_SHIFT}")
+
+    def check_wl(self, wl: int, what: str) -> None:
+        if wl > I64_SAFE_WL:
+            self._fail(f"{what}: word length {wl} > {I64_SAFE_WL}")
+
+    def _fail(self, reason: str) -> None:
+        if len(self.reasons) < _MAX_REASONS:
+            self.reasons.append(reason)
+
+    @property
+    def safe(self) -> bool:
+        return not self.reasons
+
+
+def _wl_clamp(wl: int) -> tuple[int, int]:
+    """Post-overflow range of a ``wl``-bit slot (any overflow policy)."""
+    return (-(1 << (wl - 1)), (1 << (wl - 1)) - 1)
+
+
+def _join(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _post_overflow(
+    iv: tuple[int, int], wl: int, mode: OverflowMode
+) -> tuple[int, int]:
+    """Sound image of ``apply_overflow`` over a pre-overflow interval.
+
+    ``WRAP`` is the identity when the interval already fits, the full
+    clamp range otherwise (a wrapped value can land anywhere in it);
+    ``SATURATE`` clamps both ends; ``ERROR`` either passes the values
+    through (when they provably fit) or raises at runtime — in which
+    case the clamp range over-approximates the only non-raising
+    outcomes.
+    """
+    lo, hi = _wl_clamp(wl)
+    if mode is OverflowMode.SATURATE:
+        return (min(max(iv[0], lo), hi), min(max(iv[1], lo), hi))
+    if lo <= iv[0] and iv[1] <= hi:
+        return iv
+    return (lo, hi)
+
+
+def _shift_interval(
+    iv: tuple[int, int],
+    f_from: int,
+    f_to: int,
+    mode: QuantMode,
+    checker: _IntervalChecker,
+    what: str,
+) -> tuple[int, int]:
+    """Image of ``requantize`` over an interval, checking transients.
+
+    Shifts are monotone, so the image of an interval is the interval
+    of the images; the ``ROUND`` half-ulp offset is checked as its own
+    transient because the runtime materializes ``m + (1 << (s - 1))``
+    before shifting it back down.
+    """
+    if f_to >= f_from:
+        shift = f_to - f_from
+        checker.check_shift(shift, what)
+        return checker.note(iv[0] << shift, iv[1] << shift, what)
+    shift = f_from - f_to
+    checker.check_shift(shift, what)
+    if mode is QuantMode.ROUND:
+        offset = 1 << (shift - 1)
+        lo, hi = checker.note(iv[0] + offset, iv[1] + offset, what)
+        return (lo >> shift, hi >> shift)
+    return (iv[0] >> shift, iv[1] >> shift)
+
+
+def _mul_interval(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(products), max(products))
+
+
+def _abs_interval(iv: tuple[int, int]) -> tuple[int, int]:
+    lo = 0 if iv[0] <= 0 <= iv[1] else min(abs(iv[0]), abs(iv[1]))
+    return (lo, max(abs(iv[0]), abs(iv[1])))
+
+
+def _array_intervals(
+    program: Program,
+    spec: FixedPointSpec,
+    cfg: FxpConfig,
+    checker: _IntervalChecker,
+) -> dict[str, tuple[int, int]]:
+    """Per-array bound on any element a LOAD can observe.
+
+    Inputs and mutated arrays are bounded by their word-length clamp
+    (both the init conversion and every STORE apply overflow at the
+    array's format, and that holds for *arbitrary* stimuli).  Constant
+    coefficient arrays that no STORE targets are bounded exactly from
+    their quantized values — the compile-time range information that
+    keeps multiply transients narrow.
+    """
+    stored_into = {
+        op.array for op in program.all_ops() if op.kind is OpKind.STORE
+    }
+    bounds: dict[str, tuple[int, int]] = {}
+    for decl in program.arrays.values():
+        slot = spec.slotmap.slot_of_symbol(decl.name)
+        wl = spec.wl(slot)
+        checker.check_wl(wl, f"array '{decl.name}'")
+        clamp = _wl_clamp(wl)
+        if decl.kind is SymbolKind.COEFF and decl.name not in stored_into:
+            assert decl.values is not None
+            fwl = spec.fwl(slot)
+            mantissas = [
+                float_to_mantissa(float(v), fwl, cfg.const_mode)
+                for v in decl.values.flat
+            ]
+            pre = (min(mantissas), max(mantissas))
+            bounds[decl.name] = _post_overflow(pre, wl, cfg.overflow)
+        else:
+            bounds[decl.name] = clamp
+    return bounds
+
+
+def _variable_intervals(
+    program: Program, spec: FixedPointSpec, cfg: FxpConfig
+) -> dict[str, tuple[int, int]]:
+    """Per-variable bound on any value a READVAR can observe.
+
+    Every WRITEVAR stores a value whose producer is format-tied to the
+    variable, and tie chains terminate either at an overflow-applying
+    op or at a LOAD of a same-root array — both within the root's
+    word-length clamp.  The only unclamped values are the initial
+    mantissas (variable init skips overflow), so the clamp is joined
+    with the exact init of every variable sharing the tie root.
+    """
+    slotmap = spec.slotmap
+    init_by_root: dict[int, tuple[int, int]] = {}
+    for var in program.variables.values():
+        slot = slotmap.slot_of_symbol(var.name)
+        init = float_to_mantissa(var.init, spec.fwl(slot), cfg.const_mode)
+        root = slotmap.root_of(slot)
+        point = (init, init)
+        prior = init_by_root.get(root)
+        init_by_root[root] = point if prior is None else _join(prior, point)
+    bounds: dict[str, tuple[int, int]] = {}
+    for var in program.variables.values():
+        slot = slotmap.slot_of_symbol(var.name)
+        clamp = _wl_clamp(spec.wl(slot))
+        bounds[var.name] = _join(clamp, init_by_root[slotmap.root_of(slot)])
+    return bounds
+
+
+def prove_int64_safe(
+    program: Program,
+    spec: FixedPointSpec,
+    config: FxpConfig | None = None,
+) -> WidthProof:
+    """Bound every batch-interpreter mantissa; certify int64 safety.
+
+    Walks each basic block once (bounds are loop-iteration independent
+    because cross-iteration flow only happens through overflow-clamped
+    arrays and variables), applying the interpreters' op semantics to
+    exact integer intervals.  Cost is linear in the static op count —
+    negligible next to a single program execution.
+    """
+    cfg = config or FxpConfig()
+    checker = _IntervalChecker()
+    arrays = _array_intervals(program, spec, cfg, checker)
+    variables = _variable_intervals(program, spec, cfg)
+
+    for block in program.blocks.values():
+        values: dict[int, tuple[int, int]] = {}
+        for op in block.ops:
+            kind = op.kind
+            node_fwl = spec.fwl(op.opid)
+            node_wl = spec.wl(op.opid)
+            what = f"op %{op.opid} ({kind.value})"
+
+            def operand(pos: int, f_to: int) -> tuple[int, int]:
+                src = op.operands[pos]
+                return _shift_interval(
+                    values[src], spec.fwl(src), f_to, cfg.quant_mode,
+                    checker, what,
+                )
+
+            if kind is OpKind.CONST:
+                m = float_to_mantissa(
+                    float(op.value),  # type: ignore[arg-type]
+                    node_fwl, cfg.const_mode,
+                )
+                # Constants stay Python-int scalars until they meet an
+                # array lane, so the raw point needs no int64 check;
+                # the meeting op's operand transient is checked there.
+                iv = _post_overflow((m, m), node_wl, cfg.overflow)
+            elif kind is OpKind.LOAD:
+                iv = arrays[op.array]  # type: ignore[index]
+            elif kind is OpKind.STORE:
+                pre = operand(0, node_fwl)
+                checker.check_wl(node_wl, what)
+                iv = _post_overflow(pre, node_wl, cfg.overflow)
+            elif kind is OpKind.READVAR:
+                iv = variables[op.var]  # type: ignore[index]
+            elif kind is OpKind.WRITEVAR:
+                iv = values[op.operands[0]]
+            elif kind is OpKind.MUL:
+                factors = []
+                for pos in (0, 1):
+                    f_cons = spec.consumption_fwl(op.opid, pos)
+                    factors.append(operand(pos, f_cons))
+                product = checker.note(
+                    *_mul_interval(factors[0], factors[1]),
+                    f"{what} product",
+                )
+                cons_sum = (
+                    spec.consumption_fwl(op.opid, 0)
+                    + spec.consumption_fwl(op.opid, 1)
+                )
+                narrowed = _shift_interval(
+                    product, cons_sum, node_fwl, cfg.quant_mode, checker, what
+                )
+                checker.check_wl(node_wl, what)
+                iv = _post_overflow(narrowed, node_wl, cfg.overflow)
+            elif op.is_binary:
+                a = operand(0, node_fwl)
+                b = operand(1, node_fwl)
+                if kind is OpKind.ADD:
+                    raw = (a[0] + b[0], a[1] + b[1])
+                elif kind is OpKind.SUB:
+                    raw = (a[0] - b[1], a[1] - b[0])
+                elif kind is OpKind.MIN:
+                    raw = (min(a[0], b[0]), min(a[1], b[1]))
+                else:  # MAX
+                    raw = (max(a[0], b[0]), max(a[1], b[1]))
+                raw = checker.note(*raw, what)
+                checker.check_wl(node_wl, what)
+                iv = _post_overflow(raw, node_wl, cfg.overflow)
+            else:  # unary NEG / ABS
+                a = operand(0, node_fwl)
+                raw = (-a[1], -a[0]) if kind is OpKind.NEG else _abs_interval(a)
+                raw = checker.note(*raw, what)
+                checker.check_wl(node_wl, what)
+                iv = _post_overflow(raw, node_wl, cfg.overflow)
+
+            values[op.opid] = checker.note(*iv, what)
+
+    return WidthProof(
+        safe=checker.safe,
+        peak_bound=checker.peak,
+        reasons=tuple(checker.reasons),
+    )

@@ -14,7 +14,10 @@ is swappable:
 * ``batch`` — the vectorized executors (:mod:`repro.ir.batch`,
   :mod:`repro.fixedpoint.fxpbatch`): all stimuli at once, independent
   loops as array lanes.  Bit-identical to ``scalar`` by construction
-  and pinned by golden tests; the default everywhere.
+  and pinned by golden tests; the default everywhere.  Its fixed-point
+  path is itself two-tiered (``batch[int64]``/``batch[object]``, see
+  :mod:`repro.fixedpoint.widthproof`); :meth:`~EvaluationBackend.fixed_tier`
+  reports which tier a given spec runs on.
 
 Both entry points take a *sequence* of stimuli and return one output
 dict per stimulus, so callers are backend-agnostic.  ``range_probe``
@@ -58,6 +61,13 @@ class EvaluationBackend:
 
     name: str = "backend"
     description: str = ""
+    #: Execution tiers ``run_fixed`` may pick between, documented for
+    #: the registry listing (``repro flows --json`` / ``GET
+    #: /registries``).  Empty for single-tier backends.  Tiers are
+    #: bit-identical by contract — the choice affects wall time only,
+    #: never results, so per-pass and per-cell cache keys do not (and
+    #: must not) depend on it.
+    tiers: tuple[dict[str, str], ...] = ()
 
     def run_float(
         self,
@@ -74,9 +84,24 @@ class EvaluationBackend:
         spec: "FixedPointSpec",
         stimuli: Stimuli,
         config: "FxpConfig | None" = None,
+        force_object: bool = False,
     ) -> list[dict[str, np.ndarray]]:
-        """Bit-accurate fixed-point execution (dequantized outputs)."""
+        """Bit-accurate fixed-point execution (dequantized outputs).
+
+        ``force_object`` pins multi-tier backends to their exact
+        arbitrary-precision tier; single-tier backends ignore it.
+        """
         raise NotImplementedError
+
+    def fixed_tier(
+        self,
+        program: "Program",
+        spec: "FixedPointSpec",
+        config: "FxpConfig | None" = None,
+    ) -> str:
+        """Label of the execution tier ``run_fixed`` would use for this
+        (program, spec, config) — e.g. ``batch[int64]``."""
+        return self.name
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -97,7 +122,10 @@ class ScalarBackend(EvaluationBackend):
             for stimulus in stimuli
         ]
 
-    def run_fixed(self, program, spec, stimuli, config=None):
+    def run_fixed(self, program, spec, stimuli, config=None,
+                  force_object=False):
+        # ``force_object`` is vacuous here: the scalar reference *is*
+        # the exact Python-int semantics every tier must reproduce.
         from repro.fixedpoint.fxpinterp import FixedPointInterpreter
 
         interpreter = FixedPointInterpreter(program, spec, config)
@@ -109,16 +137,42 @@ class BatchBackend(EvaluationBackend):
 
     name = "batch"
     description = "vectorized array evaluation, bit-identical to scalar"
+    tiers = (
+        {
+            "name": "int64",
+            "description": (
+                "native int64 numpy lanes; engaged when the static "
+                "width proof bounds every mantissa transient within "
+                "signed 64-bit"
+            ),
+        },
+        {
+            "name": "object",
+            "description": (
+                "exact arbitrary-precision Python-int lanes; the "
+                "universal fallback (and the REPRO_FXP_FORCE_OBJECT=1 "
+                "pin)"
+            ),
+        },
+    )
 
     def run_float(self, program, stimuli, range_probe=None):
         from repro.ir.batch import BatchInterpreter
 
         return BatchInterpreter(program).run(stimuli, range_probe=range_probe)
 
-    def run_fixed(self, program, spec, stimuli, config=None):
+    def run_fixed(self, program, spec, stimuli, config=None,
+                  force_object=False):
         from repro.fixedpoint.fxpbatch import BatchFixedPointInterpreter
 
-        return BatchFixedPointInterpreter(program, spec, config).run(stimuli)
+        return BatchFixedPointInterpreter(
+            program, spec, config, force_object=force_object
+        ).run(stimuli)
+
+    def fixed_tier(self, program, spec, config=None):
+        from repro.fixedpoint.fxpbatch import fixed_point_tier
+
+        return f"batch[{fixed_point_tier(program, spec, config)}]"
 
 
 _BACKENDS: dict[str, EvaluationBackend] = {}

@@ -231,6 +231,11 @@ class TestRegistryListing:
         assert {b["name"] for b in listing["sim_backends"]} == {
             "scalar", "batch"
         }
+        by_name = {b["name"]: b for b in listing["sim_backends"]}
+        assert [t["name"] for t in by_name["batch"]["tiers"]] == [
+            "int64", "object"
+        ]
+        assert by_name["scalar"]["tiers"] == []
         assert {b["name"] for b in listing["execution_backends"]} == {
             "serial", "process", "chunked", "workqueue"
         }

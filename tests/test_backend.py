@@ -16,6 +16,8 @@ import pytest
 
 from repro.errors import BackendError, InterpreterError
 from repro.fixedpoint import (
+    FORCE_OBJECT_ENV,
+    BatchFixedPointInterpreter,
     FixedPointSpec,
     FxpConfig,
     OverflowMode,
@@ -342,6 +344,215 @@ class TestRegistry:
     def test_listing_is_sorted(self):
         assert available_backends() == sorted(available_backends())
         assert {"scalar", "batch"} <= set(available_backends())
+
+
+def _mul_boundary_program(length=4):
+    """y[i] = x[i] * w[i] with inputs spanning exactly [-1, 1]."""
+    builder = ProgramBuilder("mul_boundary")
+    x = builder.input_array("x", (length,), value_range=(-1.0, 1.0))
+    w = builder.input_array("w", (length,), value_range=(-1.0, 1.0))
+    y = builder.output_array("y", (length,))
+    i = loop_index("i")
+    with builder.loop("i", length):
+        with builder.block("body"):
+            builder.store(y, i, builder.mul(builder.load(x, i),
+                                            builder.load(w, i)))
+    return builder.build()
+
+
+#: Per-kernel instances used by the native-tier matrix.  Same catalog
+#: as KERNEL_BUILDERS except IIR, whose reduced 48-sample instance has
+#: static feedback bounds past int64 (a genuine, wanted fallback — see
+#: test_reduced_iir_falls_back_and_stays_identical); 96 samples is the
+#: smallest size whose range analysis converges tight enough to prove.
+NATIVE_KERNEL_BUILDERS = dict(
+    KERNEL_BUILDERS, iir=lambda: iir(n_samples=96)
+)
+
+
+@pytest.fixture
+def native_env(monkeypatch):
+    """Clear the object-tier pin so proof-driven selection is tested
+    even when the suite itself runs under REPRO_FXP_FORCE_OBJECT=1
+    (the CI leg that pins the whole golden suite to object lanes)."""
+    monkeypatch.delenv(FORCE_OBJECT_ENV, raising=False)
+
+
+class TestNativeTier:
+    """The int64 fast path: proof-gated, transparent, bit-identical."""
+
+    def test_every_kernel_proves_native_at_spec_defaults(self, native_env):
+        for kernel in sorted(NATIVE_KERNEL_BUILDERS):
+            program = NATIVE_KERNEL_BUILDERS[kernel]()
+            interp = BatchFixedPointInterpreter(program, _spec_for(program))
+            assert interp.tier == "int64", (kernel, interp.proof.reasons)
+
+    def test_reduced_iir_falls_back_and_stays_identical(self):
+        # The reduced IIR instance (order 4, 48 samples) assigns IWLs
+        # near 100 to its feedback slots, so requantize shifts provably
+        # exceed what int64 lanes can issue: the proof must refuse, and
+        # the object tier must still match the scalar reference.
+        program = KERNEL_BUILDERS["iir"]()
+        spec = _spec_for(program)
+        interp = BatchFixedPointInterpreter(program, spec)
+        assert interp.tier == "object"
+        assert any("shift" in reason for reason in interp.proof.reasons)
+        stimuli = _stimuli(program, 11)
+        _assert_outputs_identical(
+            get_backend("scalar").run_fixed(program, spec, stimuli),
+            interp.run(stimuli),
+        )
+
+    @pytest.mark.parametrize("kernel", sorted(NATIVE_KERNEL_BUILDERS))
+    @pytest.mark.parametrize("seed", [0, 2017])
+    @pytest.mark.parametrize("quant", [QuantMode.TRUNCATE, QuantMode.ROUND])
+    @pytest.mark.parametrize(
+        "overflow", [OverflowMode.SATURATE, OverflowMode.WRAP]
+    )
+    def test_native_vs_object_bit_identity(self, kernel, seed, quant,
+                                           overflow, native_env):
+        program = NATIVE_KERNEL_BUILDERS[kernel]()
+        stimuli = _stimuli(program, seed)
+        # Narrow mixed widths so quantization and overflow both bite.
+        spec = _spec_for(program, wl_cycle=(8, 10, 12, 16))
+        config = FxpConfig(quant_mode=quant, overflow=overflow)
+        native = BatchFixedPointInterpreter(program, spec, config)
+        forced = BatchFixedPointInterpreter(program, spec, config,
+                                            force_object=True)
+        assert native.tier == "int64"
+        assert forced.tier == "object"
+        _assert_outputs_identical(forced.run(stimuli), native.run(stimuli))
+
+    def test_overflowing_kernel_falls_back_and_matches_scalar(self):
+        # 40-bit multiply operands: the product transient provably
+        # exceeds int64, so the proof must refuse and the object tier
+        # must still match the scalar reference bit-for-bit.
+        program = _mul_boundary_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=40)
+        assign_iwls(spec, analyze_ranges(program, slotmap))
+        interp = BatchFixedPointInterpreter(program, spec)
+        assert interp.tier == "object"
+        assert not interp.proof.safe
+        stimuli = _stimuli(program, 13)
+        _assert_outputs_identical(
+            get_backend("scalar").run_fixed(program, spec, stimuli),
+            interp.run(stimuli),
+        )
+
+    @pytest.mark.parametrize(
+        "overflow", [OverflowMode.WRAP, OverflowMode.SATURATE]
+    )
+    def test_products_straddling_two_pow_62_stay_native(self, overflow,
+                                                        native_env):
+        # 32-bit operands at fwl=31: x = w = -1.0 quantizes to -2^31,
+        # so the multiply transient materializes *exactly* +-2^62 at
+        # runtime — inside int64 but past what any stored word holds.
+        program = _mul_boundary_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=32)
+        for root in slotmap.roots:
+            spec.set_iwl(root, 1)
+        config = FxpConfig(overflow=overflow)
+        interp = BatchFixedPointInterpreter(program, spec, config)
+        assert interp.tier == "int64"
+        assert interp.proof.peak_bound == 1 << 62
+        stimuli = [{
+            "x": np.array([-1.0, 1.0, -1.0, 1.0]),
+            "w": np.array([-1.0, -1.0, 1.0, 1.0]),
+        }]
+        measured = interp.run(stimuli)
+        _assert_outputs_identical(
+            get_backend("scalar").run_fixed(program, spec, stimuli, config),
+            measured,
+        )
+        _assert_outputs_identical(
+            BatchFixedPointInterpreter(
+                program, spec, config, force_object=True
+            ).run(stimuli),
+            measured,
+        )
+
+    @pytest.mark.parametrize(
+        "overflow", [OverflowMode.WRAP, OverflowMode.SATURATE]
+    )
+    def test_products_past_two_pow_62_fall_back(self, overflow):
+        # One operand widened to 33 bits pushes the product transient
+        # to +-2^63 — past int64 — so the proof must fall back, and
+        # the object tier must still match the scalar reference.
+        program = _mul_boundary_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=32)
+        for root in slotmap.roots:
+            spec.set_iwl(root, 1)
+        spec.set_wl(slotmap.slot_of_symbol("x"), 33)
+        spec.set_iwl(slotmap.slot_of_symbol("x"), 1)
+        config = FxpConfig(overflow=overflow)
+        interp = BatchFixedPointInterpreter(program, spec, config)
+        assert interp.tier == "object"
+        stimuli = [{
+            "x": np.array([-1.0, 1.0, -1.0, 1.0]),
+            "w": np.array([-1.0, -1.0, 1.0, 1.0]),
+        }]
+        _assert_outputs_identical(
+            get_backend("scalar").run_fixed(program, spec, stimuli, config),
+            interp.run(stimuli),
+        )
+
+    def test_env_knob_pins_object_tier(self, monkeypatch):
+        program = KERNEL_BUILDERS["fir"]()
+        spec = _spec_for(program)
+        stimuli = _stimuli(program, 3, count=2)
+        native = BatchFixedPointInterpreter(program, spec).run(stimuli)
+        monkeypatch.setenv(FORCE_OBJECT_ENV, "1")
+        pinned = BatchFixedPointInterpreter(program, spec)
+        assert pinned.tier == "object"
+        assert pinned.proof.safe  # the proof holds; the knob overrides
+        _assert_outputs_identical(native, pinned.run(stimuli))
+        monkeypatch.setenv(FORCE_OBJECT_ENV, "0")
+        assert BatchFixedPointInterpreter(program, spec).tier == "int64"
+
+    def test_run_fixed_force_object_kwarg(self, small_fir):
+        spec = _spec_for(small_fir)
+        stimuli = _stimuli(small_fir, 5, count=2)
+        _assert_outputs_identical(
+            get_backend("batch").run_fixed(small_fir, spec, stimuli),
+            get_backend("batch").run_fixed(small_fir, spec, stimuli,
+                                           force_object=True),
+        )
+
+    def test_fixed_tier_surfacing(self, native_env):
+        program = KERNEL_BUILDERS["dot"]()
+        spec = _spec_for(program)
+        assert get_backend("batch").fixed_tier(program, spec) \
+            == "batch[int64]"
+        assert get_backend("scalar").fixed_tier(program, spec) == "scalar"
+        wide = _mul_boundary_program()
+        wide_map = SlotMap(wide)
+        wide_spec = FixedPointSpec(wide_map, max_wl=40)
+        assign_iwls(wide_spec, analyze_ranges(wide, wide_map))
+        assert get_backend("batch").fixed_tier(wide, wide_spec) \
+            == "batch[object]"
+
+    def test_backend_tiers_are_documented(self):
+        tiers = {t["name"] for t in get_backend("batch").tiers}
+        assert tiers == {"int64", "object"}
+        assert get_backend("scalar").tiers == ()
+
+    def test_evaluator_force_object_parity(self, fir_context, native_env):
+        from repro.accuracy import SimulationAccuracyEvaluator
+
+        spec = fir_context.fresh_spec()
+        fast = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=2, backend="batch"
+        )
+        exact = SimulationAccuracyEvaluator(
+            fir_context.program, n_stimuli=2, backend="batch",
+            force_object=True,
+        )
+        assert fast.tier(spec) == "batch[int64]"
+        assert exact.tier(spec) == "batch[object]"
+        assert fast.noise_power(spec) == exact.noise_power(spec)
 
 
 class TestBatchErrors:

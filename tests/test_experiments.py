@@ -140,9 +140,10 @@ class TestValidationExperiments:
 
         table = validation_table(runner, kernels=("fir",), n_stimuli=2)
         assert len(table.rows) == 6
-        for _kernel, wl, _a, _m, diff in table.rows:
+        for _kernel, wl, _a, _m, diff, tier in table.rows:
             if wl >= 12:
                 assert abs(diff) < 2.0
+            assert tier in ("batch[int64]", "batch[object]")
 
     def test_quant_mode_ablation_shapes(self, runner):
         from repro.experiments import ablation_quant_mode

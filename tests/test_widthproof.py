@@ -1,0 +1,235 @@
+"""Unit tests for the int64 width-proof pass.
+
+The proof (:mod:`repro.fixedpoint.widthproof`) decides whether the
+batch fixed-point interpreter may run on native ``int64`` lanes.  Its
+obligations: bound every *transient* — full-precision multiply
+products, pre-overflow accumulation sums, requantization up-shifts and
+the ``ROUND`` half-ulp offset — not just the stored values, and fail
+closed (object tier) whenever any bound, shift distance or word length
+escapes what int64 arithmetic can carry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fixedpoint import (
+    FixedPointSpec,
+    FxpConfig,
+    OverflowMode,
+    QuantMode,
+    SlotMap,
+    analyze_ranges,
+    assign_iwls,
+    fixed_point_tier,
+    prove_int64_safe,
+)
+from repro.fixedpoint.fxpbatch import FORCE_OBJECT_ENV
+from repro.ir import OpKind, ProgramBuilder, loop_index
+from repro.kernels import kernel_by_name, kernel_names
+
+I64_MAX = (1 << 63) - 1
+
+
+def _default_spec(program, max_wl=32):
+    slotmap = SlotMap(program)
+    spec = FixedPointSpec(slotmap, max_wl=max_wl)
+    assign_iwls(spec, analyze_ranges(program, slotmap))
+    return spec
+
+
+def _mul_program(length=4):
+    """y[i] = x[i] * w[i] — one full-width multiply per element."""
+    builder = ProgramBuilder("mulxy")
+    x = builder.input_array("x", (length,), value_range=(-1.0, 1.0))
+    w = builder.input_array("w", (length,), value_range=(-1.0, 1.0))
+    y = builder.output_array("y", (length,))
+    i = loop_index("i")
+    with builder.loop("i", length):
+        with builder.block("body"):
+            builder.store(y, i, builder.mul(builder.load(x, i),
+                                            builder.load(w, i)))
+    return builder.build()
+
+
+def _accumulate_program(length=6):
+    """acc += x[i] — a loop-carried accumulation chain."""
+    builder = ProgramBuilder("accum")
+    x = builder.input_array("x", (length,), value_range=(-1.0, 1.0))
+    total = builder.output_array("total", (1,))
+    acc = builder.scalar("acc")
+    i = loop_index("i")
+    with builder.loop("i", length):
+        with builder.block("body"):
+            builder.setvar(
+                acc, builder.add(builder.getvar(acc), builder.load(x, i))
+            )
+    with builder.block("fin"):
+        builder.store(total, 0, builder.getvar(acc))
+    return builder.build()
+
+
+class TestShippedKernelsProve:
+    @pytest.mark.parametrize("kernel", kernel_names())
+    def test_default_configs_are_int64_safe(self, kernel):
+        """The fast path engages on the whole paper workload."""
+        program = kernel_by_name(kernel)
+        proof = prove_int64_safe(program, _default_spec(program))
+        assert proof.safe, proof.reasons
+        assert proof.reasons == ()
+        assert 0 < proof.peak_bound <= I64_MAX
+        assert "int64-safe" in proof.describe()
+
+
+class TestMulWidening:
+    def test_product_transient_is_bounded_not_ignored(self):
+        program = _mul_program()
+        spec = _default_spec(program)
+        proof = prove_int64_safe(program, spec)
+        # Operands carry 32-bit mantissas at iwl=1 (fwl=31): the
+        # full-precision product transiently reaches 2^62 even though
+        # every *stored* value fits 32 bits.
+        assert proof.safe
+        assert proof.peak_bound >= 1 << 62
+
+    def test_widened_operands_push_product_past_int64(self):
+        program = _mul_program()
+        spec = _default_spec(program, max_wl=40)
+        proof = prove_int64_safe(program, spec)
+        # 40-bit operands: product transient ~2^78 — provably > int64.
+        assert not proof.safe
+        assert proof.peak_bound > I64_MAX
+        assert any("product" in reason for reason in proof.reasons)
+        assert "fallback" in proof.describe()
+
+    def test_edge_narrowing_restores_the_proof(self):
+        # The same 40-bit program proves safe once every MUL consumes
+        # its operands through 16-bit edges (the SLP pack boundary).
+        program = _mul_program()
+        spec = _default_spec(program, max_wl=40)
+        for op in program.all_ops():
+            if op.kind is OpKind.MUL:
+                spec.set_edge_wl(op.opid, 0, 16)
+                spec.set_edge_wl(op.opid, 1, 16)
+        assert prove_int64_safe(program, spec).safe
+
+
+class TestAccumulateWidening:
+    def test_accumulation_chain_proves_at_default_widths(self):
+        program = _accumulate_program()
+        proof = prove_int64_safe(program, _default_spec(program))
+        assert proof.safe
+
+    def test_unclamped_init_is_in_the_variable_bound(self):
+        # A variable init is converted without overflow, so a huge
+        # init mantissa must widen the READVAR bound even though every
+        # written value is clamped.  fwl=55 turns init=100.0 into a
+        # ~2^61.6 mantissa; one more up-shift breaks int64.
+        builder = ProgramBuilder("biginit")
+        x = builder.input_array("x", (2,), value_range=(-1.0, 1.0))
+        out = builder.output_array("out", (1,))
+        acc = builder.scalar("acc", init=100.0)
+        with builder.block("body"):
+            builder.setvar(
+                acc,
+                builder.add(builder.getvar(acc), builder.load(x, 0)),
+            )
+        with builder.block("fin"):
+            builder.store(out, 0, builder.getvar(acc))
+        program = builder.build()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=32)
+        assign_iwls(spec, analyze_ranges(program, slotmap))
+        acc_slot = slotmap.slot_of_symbol("acc")
+        spec.set_wl(acc_slot, 62)
+        spec.set_iwl(acc_slot, 7)  # fwl=55: init 100.0 -> ~2^61.6
+        out_slot = slotmap.slot_of_symbol("out")
+        spec.set_wl(out_slot, 62)
+        spec.set_iwl(out_slot, 4)  # fwl=58: requantize shifts up by 3
+        proof = prove_int64_safe(program, spec)
+        assert not proof.safe
+
+    def test_operand_alignment_widening_breaks_int64(self):
+        # Aligning the loaded operand up to the accumulator's fwl
+        # shifts its 62-bit clamp 2 bits past int64 — a pure transient:
+        # every *stored* format in the program stays native-safe.
+        program = _accumulate_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=62)
+        for root in slotmap.roots:
+            spec.set_wl(root, 62)
+            spec.set_iwl(root, 1)
+        spec.set_iwl(slotmap.slot_of_symbol("x"), 3)  # fwl 59 vs acc 61
+        proof = prove_int64_safe(program, spec)
+        assert not proof.safe
+        assert any("add" in reason for reason in proof.reasons)
+
+
+class TestShiftBounds:
+    def test_oversized_requantize_shift_fails_closed(self):
+        # fwl gaps beyond 62 can arise with negative IWLs while every
+        # word length stays native-safe; numpy cannot issue the shift.
+        program = _accumulate_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=32)
+        assign_iwls(spec, analyze_ranges(program, slotmap))
+        x_slot = slotmap.slot_of_symbol("x")
+        spec.set_wl(x_slot, 8)
+        spec.set_iwl(x_slot, 80)   # fwl = -72
+        proof = prove_int64_safe(program, spec)
+        assert not proof.safe
+        assert any("shift" in reason for reason in proof.reasons)
+
+    def test_oversized_word_length_fails_closed(self):
+        program = _mul_program()
+        slotmap = SlotMap(program)
+        spec = FixedPointSpec(slotmap, max_wl=70)
+        assign_iwls(spec, analyze_ranges(program, slotmap))
+        proof = prove_int64_safe(program, spec)
+        assert not proof.safe
+        assert any("word length 70" in reason for reason in proof.reasons)
+
+
+class TestPolicySensitivity:
+    def test_round_offset_widens_the_peak(self):
+        program = kernel_by_name("fir")
+        spec = _default_spec(program)
+        truncate = prove_int64_safe(program, spec,
+                                    FxpConfig(quant_mode=QuantMode.TRUNCATE))
+        rounded = prove_int64_safe(program, spec,
+                                   FxpConfig(quant_mode=QuantMode.ROUND))
+        assert rounded.peak_bound >= truncate.peak_bound
+
+    @pytest.mark.parametrize(
+        "overflow",
+        [OverflowMode.WRAP, OverflowMode.SATURATE, OverflowMode.ERROR],
+    )
+    def test_every_overflow_policy_is_modeled(self, overflow):
+        program = kernel_by_name("dot")
+        spec = _default_spec(program)
+        proof = prove_int64_safe(program, spec, FxpConfig(overflow=overflow))
+        assert proof.safe
+
+
+class TestTierHelper:
+    def test_tier_tracks_the_proof(self):
+        program = _mul_program()
+        assert fixed_point_tier(program, _default_spec(program)) == "int64"
+        assert fixed_point_tier(
+            program, _default_spec(program, max_wl=40)
+        ) == "object"
+
+    def test_force_object_kwarg_pins_object(self):
+        program = _mul_program()
+        spec = _default_spec(program)
+        assert fixed_point_tier(program, spec, force_object=True) == "object"
+
+    def test_env_knob_pins_object(self, monkeypatch):
+        program = _mul_program()
+        spec = _default_spec(program)
+        monkeypatch.setenv(FORCE_OBJECT_ENV, "1")
+        assert fixed_point_tier(program, spec) == "object"
+        monkeypatch.setenv(FORCE_OBJECT_ENV, "0")
+        assert fixed_point_tier(program, spec) == "int64"
+        monkeypatch.delenv(FORCE_OBJECT_ENV)
+        assert fixed_point_tier(program, spec) == "int64"
