@@ -16,6 +16,10 @@ trajectory for the engine:
   second constraint must resolve the whole analysis prefix (range
   analysis, adjoint gains, accuracy model) from cache with **zero**
   re-executions, which is what makes constraint sweeps cheap.
+* ``wlo_continuation`` — the same fir:vex-1 paper-grid sweep cold and
+  with ``--continuation``-style warm starts, guarding the warm-start
+  speedup floor and the continuation quality contract (every warm cell
+  feasible at cost ≤ its cold counterpart).
 """
 
 from __future__ import annotations
@@ -25,14 +29,21 @@ import platform
 import time
 
 from repro.experiments import KernelConfig, SweepCache, SweepExecutor, SweepPlan
+from repro.experiments.engine import PAPER_CONSTRAINT_GRID
 from repro.pipeline import ANALYSIS_PASS_NAMES, PassCache, run_flow
+from repro.pipeline.cache import global_pass_cache
 from repro.targets import get_target
+from repro.wlo import clear_continuations
 
 from conftest import record_bench as _record
 
 #: Chunked dispatch amortizes pickling/IPC, so it must never cost more
 #: than this factor over per-cell process dispatch on the same plan.
 CHUNK_OVERHEAD_LIMIT = 2.5
+
+#: Warm-start continuation must make the fir:vex-1 paper-grid sweep at
+#: least this much faster than the cold baseline (PR-8 acceptance bar).
+WARM_SPEEDUP_FLOOR = 1.5
 
 BENCH_CONFIG = KernelConfig(
     n_samples=256, analysis_samples=96, image_size=24, analysis_image_size=18
@@ -161,4 +172,73 @@ def test_bench_pass_reuse(results_dir):
         "cold_seconds": round(cold_seconds, 3),
         "warm_seconds": round(warm_seconds, 3),
         "warm_speedup": round(cold_seconds / warm_seconds, 2),
+    })
+
+
+def test_bench_wlo_continuation(results_dir):
+    """Warm-start continuation: ≥ WARM_SPEEDUP_FLOOR on fir:vex-1.
+
+    Both modes run serially against an empty process-global pass cache
+    and an empty continuation store, so each sweep pays its own
+    analysis prefix and lowerings and the two wall times differ only
+    in WLO search effort.  Best-of-two per mode keeps the CI guard
+    robust against scheduler noise; the quality contract (feasible,
+    cost ≤ cold, per cell) is asserted on the measured cells.
+    """
+
+    def sweep(continuation: str) -> tuple[float, dict]:
+        best = float("inf")
+        cells = None
+        for _ in range(2):
+            global_pass_cache().clear()
+            clear_continuations()
+            plan = SweepPlan.build(
+                BENCH_CONFIG, ("fir",), ("vex-1",), PAPER_CONSTRAINT_GRID,
+                continuation=continuation,
+            )
+            started = time.perf_counter()
+            cells, stats = SweepExecutor(BENCH_CONFIG, jobs=1).run(plan)
+            best = min(best, time.perf_counter() - started)
+            assert stats.computed == len(plan)
+        return best, cells
+
+    cold_seconds, cold_cells = sweep("")
+    warm_seconds, warm_cells = sweep("warm")
+    global_pass_cache().clear()
+    clear_continuations()
+
+    # The quality contract: every warm cell is feasible and no more
+    # expensive than its cold counterpart; cells after the strictest
+    # actually continued from a neighbor.
+    warm_started = 0
+    for request, warm_cell in warm_cells.items():
+        cold_cell = cold_cells[type(request)(
+            request.kernel, request.target, request.constraint_db,
+            request.wlo, request.flow, request.sim_backend, "",
+        )]
+        assert warm_cell.wlo_first_noise_db <= request.constraint_db
+        assert warm_cell.wlo_slp_noise_db <= request.constraint_db
+        assert warm_cell.wlo_first_simd_cycles <= cold_cell.wlo_first_simd_cycles
+        assert warm_cell.wlo_slp_cycles <= cold_cell.wlo_slp_cycles
+        warm_started += bool(warm_cell.warm_start)
+    assert warm_started >= len(warm_cells) - 1
+
+    # The acceptance bar: warm-start continuation pays off.
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= WARM_SPEEDUP_FLOOR
+
+    cold_evals = sum(c.wlo_evaluations for c in cold_cells.values())
+    warm_evals = sum(c.wlo_evaluations for c in warm_cells.values())
+    _record("wlo_continuation", {
+        "kernel": "fir",
+        "target": "vex-1",
+        "grid_db": list(PAPER_CONSTRAINT_GRID),
+        "python": platform.python_version(),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(speedup, 2),
+        "speedup_floor": WARM_SPEEDUP_FLOOR,
+        "cold_evaluations": cold_evals,
+        "warm_evaluations": warm_evals,
+        "warm_cells": warm_started,
     })

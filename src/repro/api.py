@@ -97,6 +97,14 @@ class SweepRequest:
     backend: str = ""
     cache_dir: str = ""
     no_cache: bool = False
+    #: Warm-start each cell's WLO from its nearest stricter neighbor
+    #: (the ``repro sweep --continuation`` flag; see
+    #: :mod:`repro.wlo.continuation`).
+    continuation: bool = False
+    #: Single-search Pareto-front mode (``repro sweep --pareto``): one
+    #: frontier walk per kernel × target, projected onto every grid
+    #: constraint.  Mutually exclusive with ``continuation``.
+    pareto: bool = False
 
     def __post_init__(self) -> None:
         # Normalize the sequence fields so value equality (and thus
@@ -104,10 +112,27 @@ class SweepRequest:
         # caller's choice of list vs tuple.
         object.__setattr__(self, "kernels", _names(self.kernels))
         object.__setattr__(self, "targets", _names(self.targets))
-        object.__setattr__(self, "grid", _grid(self.grid))
+        # Repeated constraints are one cell; drop them up front
+        # (order-preserving) so reports and plans agree on the count.
+        object.__setattr__(self, "grid", tuple(dict.fromkeys(_grid(self.grid))))
+        if not self.grid:
+            raise FlowError(
+                "sweep request grid is empty: at least one constraint "
+                "(dB) is required"
+            )
         if self.only is not None:
             object.__setattr__(self, "only", _names(self.only))
         object.__setattr__(self, "jobs", int(self.jobs))
+        object.__setattr__(self, "continuation", bool(self.continuation))
+        object.__setattr__(self, "pareto", bool(self.pareto))
+
+    @property
+    def continuation_mode(self) -> str:
+        """The request's WLO continuation mode (``""``/``"warm"``/
+        ``"pareto"``) as the engine and pass layers spell it."""
+        if self.pareto:
+            return "pareto"
+        return "warm" if self.continuation else ""
 
     # ------------------------------------------------------------------
     def validate(self) -> "SweepRequest":
@@ -145,6 +170,12 @@ class SweepRequest:
         _parse_only(self.only)
         if self.jobs < 1:
             raise FlowError(f"jobs must be >= 1, got {self.jobs}")
+        if self.continuation and self.pareto:
+            raise FlowError(
+                "continuation and pareto are mutually exclusive: pareto "
+                "already supersedes per-cell warm starts with one "
+                "frontier search per kernel/target"
+            )
         return self
 
     def plan(self, config: KernelConfig | None = None) -> SweepPlan:
@@ -152,7 +183,7 @@ class SweepRequest:
         return SweepPlan.build(
             config if config is not None else KernelConfig(),
             self.kernels, self.targets, self.grid, self.wlo, self.only,
-            self.flow, self.sim_backend,
+            self.flow, self.sim_backend, self.continuation_mode,
         )
 
     # ------------------------------------------------------------------
@@ -237,6 +268,8 @@ class SweepRequest:
         cache_dir = getattr(args, "cache_dir", None)
         values["cache_dir"] = str(cache_dir) if cache_dir else ""
         values["no_cache"] = bool(getattr(args, "no_cache", False))
+        values["continuation"] = bool(getattr(args, "continuation", False))
+        values["pareto"] = bool(getattr(args, "pareto", False))
         return cls(**values)
 
 
@@ -479,6 +512,7 @@ def registry_listing() -> dict[str, Any]:
     from repro.kernels import kernel_catalog
     from repro.pipeline import available_flows, get_flow
     from repro.targets.registry import available_targets
+    from repro.wlo.continuation import CONTINUATION_MODES
     from repro.wlo.registry import available_wlo_engines
 
     catalog = kernel_catalog()
@@ -496,6 +530,9 @@ def registry_listing() -> dict[str, Any]:
             for name in available_flows()
         ],
         "wlo_engines": list(available_wlo_engines()),
+        # The opt-in cross-constraint reuse modes of the WLO passes
+        # ("" — cold — is the implicit default, not listed).
+        "wlo_continuation_modes": [m for m in CONTINUATION_MODES if m],
         "sim_backends": [
             {
                 "name": name,

@@ -16,6 +16,8 @@ Usage examples::
     repro sweep --only fir:vex-1 --jobs 2 --cache-dir .sweep-cache
     repro sweep --flow wlo-slp-lite --wlo max-1
     repro sweep --backend workqueue --jobs 8
+    repro sweep --only fir:vex-1 --continuation
+    repro sweep --only fir:vex-1 --pareto --grid -5 -10 -15 -20 -25
     repro serve --port 8642 --jobs 4
     repro validate --stimuli 4 --sim-seed 7 --sim-backend batch
     repro codegen --kernel fir --target xentium --constraint -25 --simd
@@ -31,7 +33,8 @@ Every sweep-backed command (``sweep``, ``fig4``, ``table1``, ``fig6``,
 ``ablations``, ``validate``, ``serve``) declares the *same* shared
 engine flags — ``--jobs``, ``--backend`` (execution backend:
 ``serial``/``process``/``chunked``/``workqueue``), ``--cache-dir``,
-``--no-cache``, ``--sim-backend`` — through one argparse parent
+``--no-cache``, ``--sim-backend``, ``--continuation``, ``--pareto`` —
+through one argparse parent
 parser, and materializes them into a typed
 :class:`repro.api.SweepRequest`: the exact object Python callers pass
 to :meth:`ExperimentRunner.submit` and HTTP clients POST to
@@ -241,6 +244,18 @@ def _engine_parent(
     )
     parent.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache entirely")
+    parent.add_argument(
+        "--continuation", action="store_true",
+        help="warm-start each cell's WLO from its nearest stricter "
+             "neighbor's solution (constraints run strictest-first; "
+             "results stay feasible and never cost more than cold)",
+    )
+    parent.add_argument(
+        "--pareto", action="store_true",
+        help="single-search Pareto-front WLO: walk each kernel/target's "
+             "cost-noise frontier once and project it onto every grid "
+             "constraint (joint flows degrade to --continuation)",
+    )
     return parent
 
 
@@ -367,6 +382,11 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         print(f"{flow['name']:<{width}}  {flow['description']}")
         print(f"{'':<{width}}    passes: {' -> '.join(flow['passes'])}")
     print(f"\nWLO engines: {', '.join(listing['wlo_engines'])}")
+    print(
+        "WLO continuation modes: "
+        f"{', '.join(listing['wlo_continuation_modes'])} "
+        "(sweep --continuation / --pareto; default: cold)"
+    )
     backends = ", ".join(
         f"{b['name']} ({b['description']}"
         + (
@@ -414,7 +434,7 @@ def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
         headers=(
             "kernel", "target", "constraint_db", "wlo", "flow",
             "scalar_cycles", "wlo_first_speedup", "wlo_slp_speedup",
-            "float_speedup",
+            "float_speedup", "wlo_iters", "warm",
         ),
         title="Sweep — (kernel × target × constraint) cells",
     )
@@ -440,6 +460,8 @@ def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
             round(cell.wlo_first_speedup, 3),
             round(cell.wlo_slp_speedup, 3),
             round(cell.float_speedup, 3),
+            cell.wlo_iterations,
+            "yes" if cell.warm_start else "",
         )
     print(table.render())
     failed = report.counts.get("failed", 0)
@@ -473,6 +495,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "cache_dir": defaults.cache_dir,
             "no_cache": defaults.no_cache,
             "sim_backend": defaults.sim_backend,
+            "continuation": defaults.continuation,
+            "pareto": defaults.pareto,
         }
     )
     server = make_server(args.host, args.port, service, verbose=args.verbose)
@@ -502,6 +526,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.timings:
         print()
         print(state.timing_report())
+        stats = None
+        if isinstance(result, FlowResult):
+            stats = result.extra.get("wlo_stats")
+        elif hasattr(result, "simd"):  # WloFirstResult
+            stats = result.simd.extra.get("wlo_stats")
+        if stats is not None:
+            from repro.experiments.engine import wlo_stats_numbers
+
+            iterations, evaluations, warm = wlo_stats_numbers(stats)
+            print(
+                f"WLO search: {iterations} iterations, "
+                f"{evaluations} evaluations"
+                + (" (warm start)" if warm else "")
+            )
         if isinstance(result, FlowResult) and result.spec is not None:
             from repro.fixedpoint.widthproof import prove_int64_safe
             from repro.ir.backend import DEFAULT_BACKEND, get_backend

@@ -30,9 +30,17 @@ a sweep or drop in-flight completed cells — the executor keeps
 draining, persists every survivor, and surfaces the failures in its
 :class:`~repro.experiments.engine.SweepStats`.
 
-All backends are bit-identical on the surviving cells: dispatch
-changes *where* :func:`~repro.experiments.engine.evaluate_cell` runs,
-never what it computes.
+All backends are bit-identical on the surviving cells of *cold*
+sweeps: dispatch changes *where*
+:func:`~repro.experiments.engine.evaluate_cell` runs, never what it
+computes.  Warm-continuation sweeps (``continuation="warm"``, see
+:mod:`repro.wlo.continuation`) relax this to the continuation quality
+contract: the per-process continuation store means ``serial`` (and
+each ``chunked`` worker, whose kernel-major chunks keep a panel's
+strictest-first constraint order) hands every cell its neighbor's
+seed, while ``process`` one-task-per-cell dispatch usually finds an
+empty store and runs cold — always-correct, feasible, never costlier
+than cold, but not bit-pinned across dispatch strategies.
 """
 
 from __future__ import annotations

@@ -31,7 +31,7 @@ one bad cell can never lose a sweep's worth of completed work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import FlowError, unknown_name_error
 from repro.flows.common import AnalysisContext
@@ -57,6 +57,7 @@ __all__ = [
     "evaluate_cell",
     "float_cycles",
     "kernel_programs",
+    "wlo_stats_numbers",
 ]
 
 #: Table I's constraint grid, reused for every figure by default.
@@ -127,6 +128,13 @@ class CellRequest:
     #: A string rather than ``None`` so ``order=True`` comparisons and
     #: JSON round-trips stay total.
     sim_backend: str = ""
+    #: Cross-constraint continuation mode of the cell's WLO passes
+    #: (``""``/``"warm"``/``"pareto"``, see
+    #: :mod:`repro.wlo.continuation`).  Part of the request — and,
+    #: through the resolved pass signatures, of the pipeline cache key
+    #: too — so warm and cold cells can never alias in either cache
+    #: layer.
+    continuation: str = ""
 
 
 @dataclass
@@ -144,6 +152,14 @@ class Cell:
     wlo_slp_groups: int
     wlo_first_noise_db: float
     wlo_slp_noise_db: float
+    #: WLO search effort provenance (``--timings`` and the serve wire):
+    #: iteration and candidate-evaluation totals summed over the cell's
+    #: two constraint-driven searches (baseline engine + joint flow),
+    #: and whether either search continued from a warm start.  Default
+    #: values keep pre-continuation disk-cache payloads loadable.
+    wlo_iterations: int = 0
+    wlo_evaluations: int = 0
+    warm_start: bool = False
 
     @property
     def wlo_first_speedup(self) -> float:
@@ -234,34 +250,70 @@ def cell_pipeline_signature(request: CellRequest) -> dict[str, list[str]]:
         _SIGNATURES[0] = generation
         _SIGNATURES[1] = {}
     memo = _SIGNATURES[1]
-    key = (request.wlo, request.flow, request.sim_backend)
+    key = (request.wlo, request.flow, request.sim_backend, request.continuation)
     found = memo.get(key)
     if found is None:
         found = {
             "float": get_flow("float").pass_names(),
             "baseline": get_flow("wlo-first").pass_names(
                 wlo=request.wlo,
-                **_sim_backend_overrides(get_flow("wlo-first"), request),
+                **_flow_overrides(get_flow("wlo-first"), request),
             ),
             "joint": get_flow(request.flow).pass_names(
-                **_sim_backend_overrides(get_flow(request.flow), request)
+                **_flow_overrides(get_flow(request.flow), request)
             ),
         }
         memo[key] = found
     return found
 
 
-def _sim_backend_overrides(spec, request: CellRequest) -> dict[str, str]:
-    """The request's sim-backend override, iff the flow takes one.
+def _flow_overrides(spec, request: CellRequest) -> dict[str, str]:
+    """The request's per-flow overrides, iff the flow takes them.
 
     Flows without simulation-backed passes (``float``) accept no
-    ``sim_backend`` parameter; for them the request field is a no-op
-    rather than an error — mirroring the CLI's ``--sim-backend``
-    behaviour on ``repro run``.
+    ``sim_backend`` parameter, and constraint-free flows no
+    ``continuation`` either; for them the request fields are no-ops
+    rather than errors — mirroring the CLI's ``--sim-backend``
+    behaviour on ``repro run``.  Non-empty overrides land in the
+    resolved pass signatures, which is how the continuation mode
+    reaches both the per-pass cache key and (via
+    :func:`cell_pipeline_signature`) the on-disk sweep cache key.
     """
+    overrides: dict[str, str] = {}
     if request.sim_backend and "sim_backend" in spec.params:
-        return {"sim_backend": request.sim_backend}
-    return {}
+        overrides["sim_backend"] = request.sim_backend
+    if request.continuation and "continuation" in spec.params:
+        overrides["continuation"] = request.continuation
+    return overrides
+
+
+def wlo_stats_numbers(stats: Any) -> tuple[int, int, bool]:
+    """``(iterations, evaluations, warm_start)`` of any engine's stats.
+
+    Normalizes across the statistics shapes the WLO passes emit:
+    ``TabuResult.iterations``, ``GreedyResult``/``ParetoResult``
+    ``.moves``, ``WloSlpOutcome.selection.rounds`` (with
+    ``benefit_evaluations`` as the evaluation count), falling back to
+    zeros for stats a custom engine reports differently.
+    """
+    if stats is None:
+        return 0, 0, False
+    iterations = getattr(stats, "iterations", None)
+    if iterations is None:
+        iterations = getattr(stats, "moves", None)
+    evaluations = getattr(stats, "evaluations", None)
+    selection = getattr(stats, "selection", None)
+    if selection is not None:
+        if iterations is None:
+            iterations = getattr(selection, "rounds", None)
+        if evaluations is None:
+            evaluations = getattr(selection, "benefit_evaluations", None)
+    try:
+        iterations = int(iterations or 0)
+        evaluations = int(evaluations or 0)
+    except (TypeError, ValueError):
+        iterations, evaluations = 0, 0
+    return iterations, evaluations, bool(getattr(stats, "warm_start", False))
 
 
 def evaluate_cell(
@@ -291,15 +343,21 @@ def evaluate_cell(
     baseline = run_flow(
         "wlo-first", program, target, request.constraint_db,
         analysis_program=twin, wlo=request.wlo,
-        **_sim_backend_overrides(get_flow("wlo-first"), request),
+        **_flow_overrides(get_flow("wlo-first"), request),
     )
     joint = run_flow(
         request.flow, program, target, request.constraint_db,
         analysis_program=twin,
-        **_sim_backend_overrides(get_flow(request.flow), request),
+        **_flow_overrides(get_flow(request.flow), request),
     )
     if isinstance(joint, WloFirstResult):
         joint = joint.simd  # decoupled variants: their SIMD best effort
+    base_iters, base_evals, base_warm = wlo_stats_numbers(
+        baseline.simd.extra.get("wlo_stats")
+    )
+    joint_iters, joint_evals, joint_warm = wlo_stats_numbers(
+        joint.extra.get("wlo_stats")
+    )
     return Cell(
         kernel=request.kernel,
         target=request.target,
@@ -316,6 +374,9 @@ def evaluate_cell(
             0.0 if baseline.simd.noise_db is None else baseline.simd.noise_db
         ),
         wlo_slp_noise_db=0.0 if joint.noise_db is None else joint.noise_db,
+        wlo_iterations=base_iters + joint_iters,
+        wlo_evaluations=base_evals + joint_evals,
+        warm_start=base_warm or joint_warm,
     )
 
 
@@ -340,6 +401,7 @@ class SweepPlan:
         only: Iterable[str] | None = None,
         flow: str = "wlo-slp",
         sim_backend: str = "",
+        continuation: str = "",
     ) -> "SweepPlan":
         """Enumerate (kernel × target × constraint) cells.
 
@@ -352,18 +414,31 @@ class SweepPlan:
         analysis-pass results — the shared-work deduplication that
         makes the serial path and each pool worker analyze every
         kernel once.
+
+        ``continuation`` stamps every cell with a cross-constraint
+        reuse mode and orders each (kernel, target) panel's constraints
+        strictest-first (most negative dB first): a stricter solution
+        is always feasible at a looser constraint, so in-order
+        execution hands every cell after a panel's first a usable warm
+        seed.  The ordering is an *optimization*, not a contract —
+        backends that split or reorder the plan (``process``,
+        ``workqueue``) just get per-chunk or cold continuation, never
+        wrong answers.
         """
         pairs = _parse_only(only)
+        constraints = [float(constraint) for constraint in grid]
+        if continuation:
+            constraints = sorted(constraints)
         seen: set[CellRequest] = set()
         requests: list[CellRequest] = []
         for kernel in kernels:
             for target in targets:
                 if pairs is not None and (kernel, target) not in pairs:
                     continue
-                for constraint in grid:
+                for constraint in constraints:
                     request = CellRequest(
-                        kernel, target, float(constraint), wlo, flow,
-                        sim_backend,
+                        kernel, target, constraint, wlo, flow,
+                        sim_backend, continuation,
                     )
                     if request not in seen:
                         seen.add(request)

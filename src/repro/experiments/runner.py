@@ -97,10 +97,12 @@ class ExperimentRunner:
         wlo: str = "tabu",
         flow: str = "wlo-slp",
         sim_backend: str = "",
+        continuation: str = "",
     ) -> Cell:
         """Run (or recall) one sweep cell."""
         request = CellRequest(
-            kernel, target_name, float(constraint_db), wlo, flow, sim_backend
+            kernel, target_name, float(constraint_db), wlo, flow, sim_backend,
+            continuation,
         )
         found = self._cells.get(request)
         if found is not None:
@@ -127,6 +129,7 @@ class ExperimentRunner:
         wlo: str = "tabu",
         flow: str = "wlo-slp",
         sim_backend: str = "",
+        continuation: str = "",
     ) -> list[Cell]:
         """All cells of one (kernel, target) panel.
 
@@ -137,10 +140,12 @@ class ExperimentRunner:
         """
         self.prefetch(
             (kernel,), (target_name,), grid, wlo, flow=flow,
-            sim_backend=sim_backend,
+            sim_backend=sim_backend, continuation=continuation,
         ).ensure_complete()
         return [
-            self.cell(kernel, target_name, a, wlo, flow, sim_backend)
+            self.cell(
+                kernel, target_name, a, wlo, flow, sim_backend, continuation
+            )
             for a in grid
         ]
 
@@ -154,6 +159,7 @@ class ExperimentRunner:
         only: tuple[str, ...] | None = None,
         flow: str = "wlo-slp",
         sim_backend: str = "",
+        continuation: str = "",
     ) -> SweepStats:
         """Resolve a whole grid through the executor in one batch.
 
@@ -162,7 +168,8 @@ class ExperimentRunner:
         read them back from the memo.  Returns the resolution stats.
         """
         plan = SweepPlan.build(
-            self.config, kernels, targets, grid, wlo, only, flow, sim_backend
+            self.config, kernels, targets, grid, wlo, only, flow, sim_backend,
+            continuation,
         )
         _, stats = self.executor.run(plan)
         return stats

@@ -84,11 +84,13 @@ register_flow(FlowSpec(
 # ----------------------------------------------------------------------
 # wlo-first (decoupled baseline) and its variants
 
-def _build_decoupled(wlo: str, sim_backend: str) -> tuple[Pass, ...]:
+def _build_decoupled(
+    wlo: str, sim_backend: str, continuation: str
+) -> tuple[Pass, ...]:
     return (
         *_analysis_passes(sim_backend),
         IwlAssignmentPass(),
-        WloPass(engine=wlo),
+        WloPass(engine=wlo, continuation=continuation),
         NoiseReportPass(),
         LowerScalarPass(),
         SchedulePass("scalar_lowered", "scalar_cycles"),
@@ -140,15 +142,26 @@ def declare_decoupled_flow(
     description: str,
     wlo: str = "tabu",
     sim_backend: str = DEFAULT_BACKEND,
+    continuation: str = "",
     **register_kwargs: Any,
 ) -> FlowSpec:
-    """Declare a WLO-then-SLP flow around the named WLO engine."""
+    """Declare a WLO-then-SLP flow around the named WLO engine.
+
+    ``continuation`` is the cross-constraint reuse mode of the WLO
+    pass (``""``/``"warm"``/``"pareto"``, see
+    :mod:`repro.wlo.continuation`); like ``sim_backend`` it is
+    overridable per run, which is how ``repro sweep --continuation``
+    turns it on without declaring new flows.
+    """
     return register_flow(FlowSpec(
         name=name,
         description=description,
         build=_build_decoupled,
         result=_decoupled_result,
-        params={"wlo": wlo, "sim_backend": sim_backend},
+        params={
+            "wlo": wlo, "sim_backend": sim_backend,
+            "continuation": continuation,
+        },
     ), **register_kwargs)
 
 
@@ -157,7 +170,7 @@ def declare_decoupled_flow(
 
 def _build_joint(
     harmonize: bool, scaloptim: bool, accuracy_conflicts: bool,
-    sim_backend: str,
+    sim_backend: str, continuation: str,
 ) -> tuple[Pass, ...]:
     return (
         *_analysis_passes(sim_backend),
@@ -166,6 +179,7 @@ def _build_joint(
             harmonize=harmonize,
             scaloptim=scaloptim,
             accuracy_conflicts=accuracy_conflicts,
+            continuation=continuation,
         ),
         NoiseReportPass(),
         LowerSimdPass(),
@@ -188,6 +202,7 @@ def _joint_result(
         extra={
             "selection_stats": state.get("selection_stats"),
             "scaling_stats": state.get("scaling_stats"),
+            "wlo_stats": state.get("wlo_stats"),
         },
     )
 
@@ -199,9 +214,15 @@ def declare_joint_flow(
     scaloptim: bool = True,
     accuracy_conflicts: bool = True,
     sim_backend: str = DEFAULT_BACKEND,
+    continuation: str = "",
     **register_kwargs: Any,
 ) -> FlowSpec:
-    """Declare a joint SLP-aware WLO flow with the given features."""
+    """Declare a joint SLP-aware WLO flow with the given features.
+
+    ``continuation`` as in :func:`declare_decoupled_flow`; note the
+    joint engine treats ``"pareto"`` as warm continuation (it has no
+    scalar frontier to walk).
+    """
     return register_flow(FlowSpec(
         name=name,
         description=description,
@@ -212,6 +233,7 @@ def declare_joint_flow(
             "scaloptim": scaloptim,
             "accuracy_conflicts": accuracy_conflicts,
             "sim_backend": sim_backend,
+            "continuation": continuation,
         },
     ), **register_kwargs)
 

@@ -17,6 +17,7 @@ to them — the parity contract ``tests/test_pipeline.py`` pins down.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any
 
 from repro.accuracy.adjoint import extract_gains
@@ -24,7 +25,7 @@ from repro.accuracy.analytical import AccuracyModel
 from repro.codegen.floatgen import lower_float_program
 from repro.codegen.scalar import lower_scalar_program
 from repro.codegen.simd import lower_simd_program
-from repro.errors import FlowError
+from repro.errors import FlowError, unknown_name_error
 from repro.fixedpoint.iwl import assign_iwls
 from repro.fixedpoint.range_analysis import RangeResult, analyze_ranges
 from repro.fixedpoint.spec import FixedPointSpec, SlotMap
@@ -32,8 +33,16 @@ from repro.ir.backend import DEFAULT_BACKEND
 from repro.pipeline.state import FlowState
 from repro.scheduler.cycles import program_cycles
 from repro.slp.extraction import SelectionStats, extract_groups_decoupled
+from repro.wlo.continuation import (
+    CONTINUATION_MODES,
+    lookup_continuation,
+    lookup_frontier,
+    record_continuation,
+    record_frontier,
+)
+from repro.wlo.pareto import ParetoResult, pareto_frontier
 from repro.wlo.registry import get_wlo_engine
-from repro.wlo.slp_aware import wlo_slp_optimize
+from repro.wlo.slp_aware import JointWarmStart, wlo_slp_optimize
 
 __all__ = [
     "ANALYSIS_PASS_NAMES",
@@ -208,66 +217,198 @@ class IwlAssignmentPass(Pass):
         return {"spec": spec}
 
 
+def _check_continuation_mode(mode: str) -> str:
+    if mode not in CONTINUATION_MODES:
+        raise unknown_name_error(
+            FlowError, "continuation mode", mode,
+            [m for m in CONTINUATION_MODES if m],
+        )
+    return mode
+
+
+def _engine_accepts_warm_start(engine: Any) -> bool:
+    """Whether a registered engine can take the ``warm_start`` keyword.
+
+    Custom engines registered before warm starts existed keep working:
+    they simply always run cold.
+    """
+    try:
+        parameters = inspect.signature(engine).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    if "warm_start" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _continuation_key(pass_: Pass, state: FlowState) -> str:
+    """The constraint-independent identity of a continuation family.
+
+    Built from the pass signature (engine + mode are part of it) and
+    the artifact fingerprints of everything the engine reads *except*
+    ``constraint_db`` — two cells share a family exactly when they
+    solve the same problem at different constraints.  The fingerprints
+    also embed :func:`~repro.flows.common.flow_code_version`, so stale
+    solutions can never leak across code changes within a process.
+    """
+    parts = [pass_.signature()]
+    for name in ("program", "spec", "model", "target"):
+        parts.append(state.fingerprint(name))
+    return "|".join(parts)
+
+
 class WloPass(Pass):
-    """Standalone word-length optimization via a registered engine."""
+    """Standalone word-length optimization via a registered engine.
+
+    ``continuation`` selects the cross-constraint reuse mode (see
+    :data:`repro.wlo.continuation.CONTINUATION_MODES`): ``"warm"``
+    seeds the engine with the nearest stricter constraint's recorded
+    solution and files this cell's solution for the next; ``"pareto"``
+    replaces the engine search entirely with one memoized
+    :func:`~repro.wlo.pareto.pareto_frontier` walk per continuation
+    family, projected onto this cell's constraint.  Both modes are
+    part of :meth:`params` (hence of every cache key); the default
+    ``""`` keeps the signature — and therefore all cold cache keys —
+    byte-identical to previous releases.
+    """
 
     name = "wlo"
     reads = ("program", "spec", "model", "target", "constraint_db")
     writes = ("spec", "wlo_stats")
 
-    def __init__(self, engine: str = "tabu") -> None:
+    def __init__(self, engine: str = "tabu", continuation: str = "") -> None:
         self.engine = engine
+        self.continuation = _check_continuation_mode(continuation)
 
     def params(self) -> dict[str, Any]:
-        return {"engine": self.engine}
+        params: dict[str, Any] = {"engine": self.engine}
+        if self.continuation:
+            params["continuation"] = self.continuation
+        return params
 
     def run(self, state: FlowState) -> dict[str, Any]:
-        engine = get_wlo_engine(self.engine)
         spec = state.get("spec")
-        stats = engine(
-            state.get("program"), spec, state.get("model"),
-            state.get("target"), state.get("constraint_db"),
+        constraint_db = state.get("constraint_db")
+        if self.continuation == "pareto":
+            return self._run_pareto(state, spec, constraint_db)
+        engine = get_wlo_engine(self.engine)
+        key = ""
+        seed = None
+        if self.continuation == "warm" and _engine_accepts_warm_start(engine):
+            key = _continuation_key(self, state)
+            seed = lookup_continuation(key, constraint_db)
+        if seed is not None:
+            stats = engine(
+                state.get("program"), spec, state.get("model"),
+                state.get("target"), constraint_db, warm_start=seed,
+            )
+        else:
+            stats = engine(
+                state.get("program"), spec, state.get("model"),
+                state.get("target"), constraint_db,
+            )
+        if key:
+            record_continuation(
+                key, constraint_db,
+                {root: spec.wl(root) for root in spec.slotmap.roots},
+            )
+        return {"spec": spec, "wlo_stats": stats}
+
+    def _run_pareto(
+        self, state: FlowState, spec: FixedPointSpec, constraint_db: float
+    ) -> dict[str, Any]:
+        key = _continuation_key(self, state)
+        frontier = lookup_frontier(key)
+        memoized = frontier is not None
+        if frontier is None:
+            frontier = pareto_frontier(
+                state.get("program"), spec, state.get("model"),
+                state.get("target"),
+            )
+            record_frontier(key, frontier)
+        point = frontier.project(constraint_db)
+        for root, wl in point.wls.items():
+            spec.set_wl(root, wl)
+        stats = ParetoResult(
+            cost=point.cost, noise_db=point.noise_db,
+            points=len(frontier.points), moves=frontier.moves,
+            evaluations=frontier.evaluations, warm_start=memoized,
+            wls=dict(point.wls),
         )
         return {"spec": spec, "wlo_stats": stats}
 
 
 class JointWloSlpPass(Pass):
-    """The paper's joint SLP-aware WLO (Fig. 1), groups + spec at once."""
+    """The paper's joint SLP-aware WLO (Fig. 1), groups + spec at once.
+
+    ``continuation`` follows :class:`WloPass`: ``"warm"`` seeds the
+    joint search with the nearest stricter constraint's word lengths
+    *and* grouping partition (see
+    :class:`~repro.wlo.slp_aware.JointWarmStart`).  The joint engine
+    has no scalar frontier to walk, so ``"pareto"`` degrades to the
+    warm-continuation behaviour here — only the standalone
+    :class:`WloPass` performs true frontier projection.
+    """
 
     name = "wlo-slp"
     reads = ("program", "spec", "model", "target", "constraint_db")
-    writes = ("spec", "groups", "selection_stats", "scaling_stats")
+    writes = ("spec", "groups", "selection_stats", "scaling_stats", "wlo_stats")
 
     def __init__(
         self,
         harmonize: bool = True,
         scaloptim: bool = True,
         accuracy_conflicts: bool = True,
+        continuation: str = "",
     ) -> None:
         self.harmonize = harmonize
         self.scaloptim = scaloptim
         self.accuracy_conflicts = accuracy_conflicts
+        self.continuation = _check_continuation_mode(continuation)
 
     def params(self) -> dict[str, Any]:
-        return {
+        params: dict[str, Any] = {
             "harmonize": self.harmonize,
             "scaloptim": self.scaloptim,
             "accuracy_conflicts": self.accuracy_conflicts,
         }
+        if self.continuation:
+            params["continuation"] = self.continuation
+        return params
 
     def run(self, state: FlowState) -> dict[str, Any]:
         spec = state.get("spec")
+        constraint_db = state.get("constraint_db")
+        key = ""
+        seed = None
+        if self.continuation:
+            key = _continuation_key(self, state)
+            seed = lookup_continuation(key, constraint_db)
         outcome = wlo_slp_optimize(
             state.get("program"), spec, state.get("model"),
-            state.get("target"), state.get("constraint_db"),
+            state.get("target"), constraint_db,
             harmonize=self.harmonize, scaloptim=self.scaloptim,
             accuracy_conflicts=self.accuracy_conflicts,
+            warm_start=seed,
         )
+        if key:
+            selection = outcome.selection
+            record_continuation(key, constraint_db, JointWarmStart(
+                {root: spec.wl(root) for root in spec.slotmap.roots},
+                dict(outcome.groups),
+                partition_safe=(
+                    selection.accuracy_rejections == 0
+                    and selection.accuracy_conflicts == 0
+                ),
+            ))
         return {
             "spec": spec,
             "groups": outcome.groups,
             "selection_stats": outcome.selection,
             "scaling_stats": outcome.scaling,
+            "wlo_stats": outcome,
         }
 
 

@@ -20,6 +20,7 @@ from repro.errors import WLOError
 from repro.fixedpoint.spec import FixedPointSpec
 from repro.ir.program import Program
 from repro.targets.model import TargetModel
+from repro.wlo.continuation import apply_warm_start
 from repro.wlo.cost import wl_relative_cost
 
 __all__ = ["GreedyResult", "max_minus_one", "min_plus_one"]
@@ -32,6 +33,9 @@ class GreedyResult:
     cost: float
     moves: int
     evaluations: int
+    #: Whether the search actually continued from a warm-start seed
+    #: (``False`` for cold runs *and* for rejected/unusable seeds).
+    warm_start: bool = False
 
 
 def max_minus_one(
@@ -40,8 +44,17 @@ def max_minus_one(
     model: AccuracyModel,
     target: TargetModel,
     constraint_db: float,
+    warm_start: dict[int, int] | None = None,
 ) -> GreedyResult:
-    """Greedy narrowing from the all-maximum assignment."""
+    """Greedy narrowing from the all-maximum assignment.
+
+    ``warm_start`` (a root → word-length assignment, typically a
+    neighboring stricter constraint's solution) replaces the all-max
+    starting point when it is complete, supported and feasible at this
+    constraint; the narrowing continues from there.  An unusable or
+    infeasible seed falls back to the cold all-max start — the result
+    is feasible either way.
+    """
     roots = spec.slotmap.roots
     supported = sorted(target.supported_wls)
     for root in roots:
@@ -50,6 +63,15 @@ def max_minus_one(
         raise WLOError(
             f"constraint {constraint_db} dB infeasible at maximum word lengths"
         )
+    warm = False
+    if warm_start is not None:
+        token = spec.save()
+        if apply_warm_start(spec, warm_start, supported) and not model.violates(
+            spec, constraint_db
+        ):
+            warm = True
+        else:
+            spec.revert(token)
     moves = 0
     evaluations = 0
     while True:
@@ -73,7 +95,9 @@ def max_minus_one(
         _cost, root, wl = best
         spec.set_wl(root, wl)
         moves += 1
-    return GreedyResult(wl_relative_cost(program, spec, target), moves, evaluations)
+    return GreedyResult(
+        wl_relative_cost(program, spec, target), moves, evaluations, warm
+    )
 
 
 def min_plus_one(
@@ -83,12 +107,29 @@ def min_plus_one(
     target: TargetModel,
     constraint_db: float,
     max_moves: int = 10_000,
+    warm_start: dict[int, int] | None = None,
 ) -> GreedyResult:
-    """Greedy widening from the all-minimum assignment."""
+    """Greedy widening from the all-minimum assignment.
+
+    A useful ``warm_start`` for a *widening* search is an **infeasible**
+    seed below the constraint (e.g. a looser constraint's solution):
+    the widening continues from it, skipping the moves the two
+    trajectories share (the move scoring is constraint-independent, so
+    a seed produced by this engine lies on the cold path and the
+    result is bit-identical to cold).  A *feasible* seed carries no
+    information a widening search can exploit — accepting it as-is
+    would strand the cost above the cold result — so it falls back to
+    the cold all-minimum start.
+    """
     roots = spec.slotmap.roots
     supported = sorted(target.supported_wls)
-    for root in roots:
-        spec.set_wl(root, supported[0])
+    warm = False
+    if warm_start is not None and apply_warm_start(spec, warm_start, supported):
+        if model.violates(spec, constraint_db):
+            warm = True
+    if not warm:
+        for root in roots:
+            spec.set_wl(root, supported[0])
     moves = 0
     evaluations = 0
     while model.violates(spec, constraint_db):
@@ -119,4 +160,6 @@ def min_plus_one(
         _score, root, wl = best
         spec.set_wl(root, wl)
         moves += 1
-    return GreedyResult(wl_relative_cost(program, spec, target), moves, evaluations)
+    return GreedyResult(
+        wl_relative_cost(program, spec, target), moves, evaluations, warm
+    )

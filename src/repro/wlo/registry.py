@@ -4,7 +4,12 @@ Every engine shares one calling convention::
 
     engine(program, spec, model, target, constraint_db) -> stats
 
-mutating ``spec`` in place and returning its search statistics.  The
+mutating ``spec`` in place and returning its search statistics.
+Engines *may* additionally accept a ``warm_start`` keyword (a root →
+word-length assignment seeding the search; see
+:mod:`repro.wlo.continuation`) — the ``wlo`` pipeline pass detects the
+keyword by signature inspection and only passes a seed to engines that
+declare it, so engines without it simply always run cold.  The
 flow layer (:mod:`repro.flows.wlo_first`, the ``wlo`` pipeline pass)
 resolves engines exclusively through this registry, so a new engine
 registered here is immediately selectable by name from ``repro run

@@ -21,7 +21,7 @@ from repro.errors import WLOError
 from repro.fixedpoint.spec import FixedPointSpec
 from repro.ir.deps import build_dependence_graph
 from repro.ir.program import Program
-from repro.slp.accuracy_aware import slp_round_accuracy_aware
+from repro.slp.accuracy_aware import set_group_wl, slp_round_accuracy_aware
 from repro.slp.benefit import BenefitEstimator
 from repro.slp.candidates import initial_items
 from repro.slp.extraction import (
@@ -32,9 +32,38 @@ from repro.slp.extraction import (
 from repro.slp.groups import GroupSet
 from repro.targets.model import TargetModel
 from repro.wlo.boundary import harmonize_boundary_wls
+from repro.wlo.continuation import apply_warm_start
 from repro.wlo.scaling import ScalingStats, optimize_scalings
 
-__all__ = ["WloSlpOutcome", "wlo_slp_optimize"]
+__all__ = ["JointWarmStart", "WloSlpOutcome", "wlo_slp_optimize"]
+
+
+@dataclass
+class JointWarmStart:
+    """A neighboring constraint's joint solution, usable as a seed.
+
+    The joint engine's state is richer than a word-length vector: the
+    grouping *partition* drives the word lengths (eq. (1)), so a
+    useful continuation carries both — the final root → WL assignment
+    and the per-block group sets of the seeding cell.
+
+    ``partition_safe`` is the adoption guard.  A partition is safe to
+    reuse at a *looser* constraint only when the seeding run's
+    selection saw **zero** accuracy rejections and **zero** accuracy
+    conflicts: then the seed's partition is purely structural/benefit
+    driven, and since a looser constraint's accuracy guard rejects a
+    subset of what the stricter one did (same spec trajectory, more
+    noise headroom), the looser cold extraction would commit the
+    *identical* partition — adoption merely skips its accuracy checks.
+    A partition shaped by accuracy (rejections or conflicts at the
+    stricter constraint) can lock in lane pairings a looser cold run
+    would not choose, violating the cost ≤ cold quality contract, so
+    the engine ignores unsafe seeds entirely.
+    """
+
+    wls: dict[int, int]
+    groups: dict[str, GroupSet]
+    partition_safe: bool = False
 
 
 @dataclass
@@ -45,6 +74,9 @@ class WloSlpOutcome:
     selection: SelectionStats = field(default_factory=SelectionStats)
     scaling: ScalingStats = field(default_factory=ScalingStats)
     boundary_moves: int = 0
+    #: Whether the optimization actually continued from a warm-start
+    #: seed (``False`` for cold runs and rejected seeds alike).
+    warm_start: bool = False
 
     @property
     def n_groups(self) -> int:
@@ -63,6 +95,7 @@ def wlo_slp_optimize(
     harmonize: bool = True,
     scaloptim: bool = True,
     accuracy_conflicts: bool = True,
+    warm_start: JointWarmStart | None = None,
 ) -> WloSlpOutcome:
     """Run the joint WLO + SLP extraction, mutating ``spec`` in place.
 
@@ -73,6 +106,17 @@ def wlo_slp_optimize(
     ablation benchmarks.  Raises :class:`WLOError` when the constraint
     is infeasible even at maximum word lengths (nothing any WLO could
     do).
+
+    ``warm_start`` (a stricter neighboring constraint's joint solution)
+    seeds both halves of the joint state when it is marked
+    ``partition_safe``, usable and feasible here: the word lengths
+    replace the all-max start, and each block's SLP rounds continue
+    from the seed's *partition* (its groups become pre-merged pack
+    items) instead of from singletons, so the rounds only explore
+    merges the neighbor hadn't already committed to.  An unsafe,
+    unusable or infeasible seed falls back to the cold start — see
+    :class:`JointWarmStart` for why unsafe partitions must not be
+    adopted.
     """
     for root in spec.slotmap.roots:
         spec.set_wl(root, target.max_wl)
@@ -81,12 +125,39 @@ def wlo_slp_optimize(
             f"accuracy constraint {constraint_db} dB is infeasible at "
             f"{target.max_wl}-bit word lengths"
         )
+    warm = False
+    if warm_start is not None and warm_start.partition_safe:
+        token = spec.save()
+        if apply_warm_start(spec, warm_start.wls, sorted(target.supported_wls)):
+            # A node-WL assignment alone under-states the seed: SETMAXWL
+            # also narrowed the multiply *operand edges* of every group
+            # lane (pack-boundary narrowing).  Re-apply it per adopted
+            # group so the seeded spec — and hence the feasibility check
+            # below — matches the state the seed finished in.
+            for group_set in warm_start.groups.values():
+                for group in group_set:
+                    set_group_wl(spec, program, group.lanes, group.wl)
+            if not model.violates(spec, constraint_db):
+                warm = True
+        if not warm:
+            spec.revert(token)
 
-    outcome = WloSlpOutcome()
+    outcome = WloSlpOutcome(warm_start=warm)
     for block in program.blocks_by_priority():
         items = initial_items(block)
+        if warm:
+            items = _adopt_items(items, warm_start.groups.get(block.name))
         if len(items) < 2 or target.max_group_size < 2:
-            outcome.groups[block.name] = GroupSet(block.name)
+            # An adopted partition can collapse a tiny block to a single
+            # merged item; materialize it instead of dropping the group.
+            # (Cold runs only reach here with singletons — empty set.)
+            group_set = build_group_set(block, items, program, spec)
+            if scaloptim and len(group_set):
+                scaling = optimize_scalings(
+                    program, spec, model, constraint_db, group_set
+                )
+                _merge_scaling_stats(outcome.scaling, scaling)
+            outcome.groups[block.name] = group_set
             continue
         deps = build_dependence_graph(block)
         estimator = BenefitEstimator(program, block)
@@ -132,6 +203,31 @@ def wlo_slp_optimize(
                 )
                 _merge_scaling_stats(outcome.scaling, scaling)
     return outcome
+
+
+def _adopt_items(
+    items: list[tuple[int, ...]], group_set: GroupSet | None
+) -> list[tuple[int, ...]]:
+    """Pre-merge singleton items into a seeding cell's partition.
+
+    Every adopted group's lanes become one multi-lane pack item; the
+    block's remaining SIMDizable ops stay singletons, so subsequent
+    extraction rounds only explore merges the seed hadn't committed.
+    Ops the seed grouped but this block no longer exposes (impossible
+    for identical programs, cheap to guard) invalidate that group only.
+    """
+    if group_set is None or not len(group_set):
+        return items
+    available = {item[0] for item in items}
+    merged: list[tuple[int, ...]] = []
+    grouped: set[int] = set()
+    for group in group_set:
+        lanes = tuple(group.lanes)
+        if any(opid not in available for opid in lanes):
+            continue
+        merged.append(lanes)
+        grouped.update(lanes)
+    return merged + [item for item in items if item[0] not in grouped]
 
 
 def _refresh_group_wls(group_set: GroupSet, spec: FixedPointSpec) -> GroupSet:

@@ -20,6 +20,7 @@ from repro.errors import WLOError
 from repro.fixedpoint.spec import FixedPointSpec
 from repro.ir.program import Program
 from repro.targets.model import TargetModel
+from repro.wlo.continuation import apply_warm_start
 from repro.wlo.cost import wl_relative_cost
 
 __all__ = ["TabuConfig", "TabuResult", "tabu_wlo"]
@@ -33,6 +34,12 @@ class TabuConfig:
     tenure: int = 7
     #: Stop after this many consecutive non-improving iterations.
     patience: int = 30
+    #: Stall budget when a warm-start seed was adopted.  A continuation
+    #: seed already sits next to the optimum, so the long plateau
+    #: patience of a cold descent would only pad the termination tail;
+    #: the warm quality contract (cost ≤ cold) stays pinned by
+    #: ``tests/test_wlo_continuation.py``.
+    warm_patience: int = 6
 
 
 @dataclass
@@ -44,6 +51,9 @@ class TabuResult:
     evaluations: int
     improved_moves: int = 0
     best_assignment: dict[int, int] = field(default_factory=dict)
+    #: Whether the search actually continued from a warm-start seed
+    #: (``False`` for cold runs *and* for rejected/unusable seeds).
+    warm_start: bool = False
 
 
 def _neighbor_wls(current: int, supported: list[int]) -> list[int]:
@@ -65,12 +75,23 @@ def tabu_wlo(
     target: TargetModel,
     constraint_db: float,
     config: TabuConfig | None = None,
+    warm_start: dict[int, int] | None = None,
 ) -> TabuResult:
     """Optimize ``spec`` in place; returns search statistics.
 
     Starts from the all-maximum-WL assignment (the most accurate
     natively supported spec); raises :class:`WLOError` when even that
     violates the constraint (infeasible problem).
+
+    ``warm_start`` (a root → word-length assignment, typically the
+    nearest stricter constraint's solution) replaces the all-max
+    starting point when it is complete, supported and feasible at this
+    constraint — the tabu search then begins next to the optimum and
+    terminates on patience after a handful of iterations instead of
+    descending the full width ladder.  An unusable or infeasible seed
+    falls back to the cold start.  The search stays deterministic for
+    fixed inputs: one (program, constraint, warm start) triple always
+    produces the same trajectory.
     """
     config = config or TabuConfig()
     slotmap = spec.slotmap
@@ -84,6 +105,15 @@ def tabu_wlo(
             f"accuracy constraint {constraint_db} dB is infeasible even at "
             f"{target.max_wl}-bit word lengths"
         )
+    warm = False
+    if warm_start is not None:
+        token = spec.save()
+        if apply_warm_start(spec, warm_start, supported) and not model.violates(
+            spec, constraint_db
+        ):
+            warm = True
+        else:
+            spec.revert(token)
 
     def snapshot() -> dict[int, int]:
         return {root: spec.wl(root) for root in roots}
@@ -127,11 +157,11 @@ def tabu_wlo(
             stall = 0
         else:
             stall += 1
-            if stall >= config.patience:
+            if stall >= (config.warm_patience if warm else config.patience):
                 break
 
     for root, wl in best.items():
         spec.set_wl(root, wl)
     if model.violates(spec, constraint_db):  # pragma: no cover - invariant
         raise WLOError("tabu search returned an infeasible best solution")
-    return TabuResult(best_cost, iteration, evaluations, improved, best)
+    return TabuResult(best_cost, iteration, evaluations, improved, best, warm)

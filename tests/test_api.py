@@ -77,6 +77,46 @@ class TestSweepRequestRoundTrip:
         assert len(plan.requests) == 2  # deduplicated
         assert plan.requests[0].sim_backend == ""
 
+    def test_grid_deduplicates_order_preserving(self):
+        request = SweepRequest(grid=(-25.0, -15, -25.0, -15.0, -45.0))
+        assert request.grid == (-25.0, -15.0, -45.0)
+        assert SweepRequest.from_json(request.to_json()) == request
+
+    def test_empty_grid_is_rejected(self):
+        with pytest.raises(FlowError, match="grid is empty"):
+            SweepRequest(grid=())
+
+    def test_continuation_round_trips(self):
+        warm = SweepRequest(continuation=True)
+        pareto = SweepRequest(pareto=True)
+        assert SweepRequest.from_json(warm.to_json()) == warm
+        assert SweepRequest.from_json(pareto.to_json()) == pareto
+        assert SweepRequest().continuation_mode == ""
+        assert warm.continuation_mode == "warm"
+        assert pareto.continuation_mode == "pareto"
+
+    def test_continuation_and_pareto_are_mutually_exclusive(self):
+        with pytest.raises(FlowError, match="mutually exclusive"):
+            SweepRequest(continuation=True, pareto=True).validate()
+
+    def test_continuation_reaches_the_plan(self):
+        from repro.experiments import KernelConfig
+
+        request = SweepRequest(
+            kernels=("fir",), targets=("vex-1",), grid=(-15.0, -45.0, -25.0),
+            continuation=True,
+        )
+        plan = request.plan(KernelConfig(**SMALL))
+        # Warm plans run each panel strictest-first so every cell after
+        # the first has a feasible neighbor to seed from.
+        assert [r.constraint_db for r in plan.requests] == [-45.0, -25.0, -15.0]
+        assert all(r.continuation == "warm" for r in plan.requests)
+        cold = SweepRequest(
+            kernels=("fir",), targets=("vex-1",), grid=(-15.0, -45.0, -25.0)
+        ).plan(KernelConfig(**SMALL))
+        assert [r.constraint_db for r in cold.requests] == [-15.0, -45.0, -25.0]
+        assert all(r.continuation == "" for r in cold.requests)
+
 
 class TestRunRequestRoundTrip:
     def test_round_trip(self):
@@ -123,6 +163,8 @@ class TestCliMaterialization:
         ["ablations", "--kernel", "iir", "--target", "st240", "--jobs", "2"],
         ["validate", "--kernels", "fir", "--sim-backend", "batch"],
         ["serve", "--port", "0", "--jobs", "4", "--backend", "workqueue"],
+        ["sweep", "--only", "fir:vex-1", "--continuation"],
+        ["sweep", "--only", "fir:vex-1", "--pareto", "--grid", "-15", "-25"],
     ]
 
     @pytest.mark.parametrize(
@@ -221,9 +263,10 @@ class TestRegistryListing:
     def test_covers_every_registry(self):
         listing = registry_listing()
         assert set(listing) == {
-            "flows", "wlo_engines", "sim_backends", "execution_backends",
-            "kernels", "targets",
+            "flows", "wlo_engines", "wlo_continuation_modes",
+            "sim_backends", "execution_backends", "kernels", "targets",
         }
+        assert listing["wlo_continuation_modes"] == ["warm", "pareto"]
         assert {f["name"] for f in listing["flows"]} >= {
             "float", "wlo-first", "wlo-slp"
         }
