@@ -13,12 +13,16 @@ from repro.accuracy.metrics import (
     quant_noise_moments,
     sqnr_db,
 )
-from repro.accuracy.simulation import SimulationAccuracyEvaluator
+from repro.accuracy.simulation import (
+    FormatAccuracyEvaluator,
+    SimulationAccuracyEvaluator,
+)
 from repro.accuracy.sites import Site, SiteKind, enumerate_sites
 
 __all__ = [
     "AccuracyModel",
     "CoeffEntry",
+    "FormatAccuracyEvaluator",
     "NoiseGains",
     "SimulationAccuracyEvaluator",
     "Site",

@@ -22,11 +22,13 @@ from repro.accuracy.metrics import measured_noise_power
 from repro.errors import AccuracyError
 from repro.fixedpoint.fxpinterp import FxpConfig
 from repro.fixedpoint.spec import FixedPointSpec
+from repro.formats import get_format
 from repro.ir.backend import DEFAULT_BACKEND, get_backend
+from repro.ir.batch import FormatBatchInterpreter
 from repro.ir.program import Program
 from repro.utils import power_to_db
 
-__all__ = ["SimulationAccuracyEvaluator"]
+__all__ = ["FormatAccuracyEvaluator", "SimulationAccuracyEvaluator"]
 
 
 class SimulationAccuracyEvaluator:
@@ -95,3 +97,72 @@ class SimulationAccuracyEvaluator:
     def violates(self, spec: FixedPointSpec, constraint_db: float) -> bool:
         """True when the measured noise exceeds the constraint."""
         return self.noise_db(spec) > constraint_db
+
+
+class FormatAccuracyEvaluator:
+    """Measure a binary float *format's* output noise on a kernel.
+
+    The format-sweep counterpart of
+    :class:`SimulationAccuracyEvaluator`: instead of a per-slot
+    fixed-point spec, the quantization target is a whole-program
+    numeric format from :mod:`repro.formats` (``float32``,
+    ``bfloat16``, ``binary(E,M)``, …), executed with correctly-rounded
+    RNE semantics by :class:`~repro.ir.batch.FormatBatchInterpreter`.
+    References come from the ``bigfloat`` oracle by default, so the
+    reported noise is the format's true rounding error rather than its
+    distance from an itself-rounded float64 run.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        format_name: str,
+        n_stimuli: int = 3,
+        seed: int = 424242,
+        discard: int = 0,
+        reference_backend: str = "bigfloat",
+    ) -> None:
+        if n_stimuli < 1:
+            raise AccuracyError(
+                f"simulation needs at least one stimulus, got {n_stimuli}"
+            )
+        spec = get_format(format_name)
+        if spec.kind != "float":
+            raise AccuracyError(
+                f"format {spec.name!r} (kind {spec.kind!r}) is not a "
+                f"measurable quantization format"
+            )
+        self.program = program
+        self.format = spec
+        self.discard = discard
+        self.reference_backend = get_backend(reference_backend)
+        rng = np.random.default_rng(seed)
+        self.stimuli: list[dict[str, np.ndarray]] = []
+        for _ in range(n_stimuli):
+            stimulus = {}
+            for decl in program.input_arrays():
+                lo, hi = decl.value_range  # type: ignore[misc]
+                stimulus[decl.name] = rng.uniform(lo, hi, size=decl.shape)
+            self.stimuli.append(stimulus)
+        self.references = self.reference_backend.run_float(
+            program, self.stimuli
+        )
+
+    # ------------------------------------------------------------------
+    def measured_outputs(self) -> list[dict[str, np.ndarray]]:
+        """Format-rounded execution outputs, one dict per stimulus."""
+        return FormatBatchInterpreter(self.program, self.format).run(
+            self.stimuli
+        )
+
+    def noise_power(self) -> float:
+        """Average output noise power of the format over the stimuli."""
+        total = 0.0
+        for reference, outputs in zip(self.references,
+                                      self.measured_outputs()):
+            total += measured_noise_power(reference, outputs, self.discard)
+        return total / len(self.stimuli)
+
+    def noise_db(self) -> float:
+        """Measured format noise power in dB."""
+        return power_to_db(self.noise_power())

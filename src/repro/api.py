@@ -29,10 +29,10 @@ callers, and off the wire::
     True
 
 :func:`registry_listing` is the shared machine-readable catalog of
-all four registries (flows, WLO engines, simulation backends,
-execution backends) plus kernels and targets — the payload of both
-``repro flows --json`` / ``repro kernels --json`` and the service's
-``GET /registries`` endpoint.
+all five registries (flows, WLO engines, simulation backends,
+execution backends, numeric formats) plus kernels and targets — the
+payload of both ``repro flows --json`` / ``repro kernels --json`` and
+the service's ``GET /registries`` endpoint.
 """
 
 from __future__ import annotations
@@ -105,8 +105,18 @@ class SweepRequest:
     #: frontier walk per kernel × target, projected onto every grid
     #: constraint.  Mutually exclusive with ``continuation``.
     pareto: bool = False
+    #: Numeric format of every cell (``repro sweep --format``; see
+    #: :mod:`repro.formats`).  ``""`` is the fixed-point default; a
+    #: float format name (``float32``, ``bfloat16``, ``binary(E,M)``…)
+    #: makes this a format sweep.
+    format: str = ""
 
     def __post_init__(self) -> None:
+        from repro.formats import canonical_format
+
+        # Canonical spelling so request equality, hashing and the JSON
+        # round-trip never depend on case or binary(E,M) spacing.
+        object.__setattr__(self, "format", canonical_format(self.format))
         # Normalize the sequence fields so value equality (and thus
         # the from_json(to_json()) round-trip) never depends on the
         # caller's choice of list vs tuple.
@@ -146,6 +156,7 @@ class SweepRequest:
         fails fast with the same message on every surface.
         """
         from repro.experiments.backends import get_execution_backend
+        from repro.formats import ensure_quantization_format
         from repro.ir.backend import get_backend
         from repro.pipeline import get_flow
         from repro.targets.registry import get_target
@@ -167,6 +178,11 @@ class SweepRequest:
             get_backend(self.sim_backend)
         if self.backend:
             get_execution_backend(self.backend)
+        if self.format:
+            # Resolve through the formats registry (standard
+            # unknown-name dialect) and reject the non-sweepable
+            # oracle up front.
+            ensure_quantization_format(self.format)
         _parse_only(self.only)
         if self.jobs < 1:
             raise FlowError(f"jobs must be >= 1, got {self.jobs}")
@@ -184,6 +200,7 @@ class SweepRequest:
             config if config is not None else KernelConfig(),
             self.kernels, self.targets, self.grid, self.wlo, self.only,
             self.flow, self.sim_backend, self.continuation_mode,
+            self.format,
         )
 
     # ------------------------------------------------------------------
@@ -270,6 +287,7 @@ class SweepRequest:
         values["no_cache"] = bool(getattr(args, "no_cache", False))
         values["continuation"] = bool(getattr(args, "continuation", False))
         values["pareto"] = bool(getattr(args, "pareto", False))
+        values["format"] = getattr(args, "format", None) or ""
         return cls(**values)
 
 
@@ -502,12 +520,13 @@ def registry_listing() -> dict[str, Any]:
     The exact payload of ``repro flows --json`` and of the service's
     ``GET /registries`` endpoint — flows (with resolved pass lists and
     default parameters), WLO engines, simulation backends, execution
-    backends, kernels and targets.
+    backends, numeric formats, kernels and targets.
     """
     from repro.experiments.backends import (
         available_execution_backends,
         get_execution_backend,
     )
+    from repro.formats import format_listing
     from repro.ir.backend import available_backends, get_backend
     from repro.kernels import kernel_catalog
     from repro.pipeline import available_flows, get_flow
@@ -550,6 +569,9 @@ def registry_listing() -> dict[str, Any]:
             }
             for name in available_execution_backends()
         ],
+        # The named numeric formats; the parameterized binary(E,M)
+        # family resolves dynamically on top of these.
+        "formats": format_listing(),
         "kernels": [
             {"name": name, "description": catalog[name][1]}
             for name in sorted(catalog)

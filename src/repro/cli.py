@@ -18,8 +18,11 @@ Usage examples::
     repro sweep --backend workqueue --jobs 8
     repro sweep --only fir:vex-1 --continuation
     repro sweep --only fir:vex-1 --pareto --grid -5 -10 -15 -20 -25
+    repro sweep --format float32 --only fir:vex-1
+    repro fig4 --dense
     repro serve --port 8642 --jobs 4
     repro validate --stimuli 4 --sim-seed 7 --sim-backend batch
+    repro validate --oracle
     repro codegen --kernel fir --target xentium --constraint -25 --simd
 
 Kernels, flows, WLO engines and simulation backends are resolved by
@@ -33,7 +36,9 @@ Every sweep-backed command (``sweep``, ``fig4``, ``table1``, ``fig6``,
 ``ablations``, ``validate``, ``serve``) declares the *same* shared
 engine flags — ``--jobs``, ``--backend`` (execution backend:
 ``serial``/``process``/``chunked``/``workqueue``), ``--cache-dir``,
-``--no-cache``, ``--sim-backend``, ``--continuation``, ``--pareto`` —
+``--no-cache``, ``--sim-backend``, ``--continuation``, ``--pareto``,
+``--format`` (numeric format: ``float32``/``bfloat16``/``binary(E,M)``,
+from :mod:`repro.formats`) —
 through one argparse parent
 parser, and materializes them into a typed
 :class:`repro.api.SweepRequest`: the exact object Python callers pass
@@ -105,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--kernels", nargs="+", default=["fir", "iir", "conv"])
     fig4.add_argument("--targets", nargs="+",
                       default=["xentium", "st240", "vex-4", "vex-1"])
+    fig4.add_argument(
+        "--dense", action="store_true",
+        help="4x-resolution constraint grid (28 points, 2.5 dB steps); "
+             "defaults the WLO to single-search Pareto-front mode so "
+             "the whole panel costs one frontier walk",
+    )
     _grid_and_out_args(fig4)
 
     t1 = sub.add_parser(
@@ -170,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument(
         "--sim-seed", type=int, default=424242, metavar="SEED",
         help="random seed of the stimulus set (default 424242)",
+    )
+    val.add_argument(
+        "--oracle", action="store_true",
+        help="add measured-vs-oracle columns: re-measure the noise "
+             "against the arbitrary-precision bigfloat reference and "
+             "report the float64 reference's own rounding noise, "
+             "flagging kernels whose measurement is rounding-limited",
     )
     _grid_and_out_args(val, with_grid=False)
 
@@ -256,6 +274,14 @@ def _engine_parent(
              "cost-noise frontier once and project it onto every grid "
              "constraint (joint flows degrade to --continuation)",
     )
+    parent.add_argument(
+        "--format", default=None, metavar="FORMAT",
+        help="numeric format of every cell, from the formats registry "
+             "(float32/bfloat16/binary(E,M)/...; see `repro flows`). "
+             "Default: the paper's fixed-point quantization; a float "
+             "format skips WLO and reports the format's own rounding "
+             "noise instead",
+    )
     return parent
 
 
@@ -313,6 +339,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     from repro.api import SweepRequest
     from repro.experiments import (
+        DENSE_CONSTRAINT_GRID,
         PAPER_CONSTRAINT_GRID,
         ablation_wlo_engines,
         ablation_wlo_slp_features,
@@ -327,14 +354,32 @@ def _dispatch(args: argparse.Namespace) -> int:
     request = SweepRequest.from_args(args).validate()
     runner = _make_runner(request)
     grid = tuple(getattr(args, "grid", None) or PAPER_CONSTRAINT_GRID)
+    if request.format and args.command in (
+        "table1", "fig6", "ablations", "validate"
+    ):
+        raise ReproError(
+            f"--format applies to sweep and fig4 only: {args.command} "
+            "tabulates fixed-point WLO results"
+        )
 
     if args.command == "sweep":
         return _cmd_sweep(args, request, runner)
     if args.command == "fig4":
+        mode = request.continuation_mode
+        if args.dense:
+            if getattr(args, "grid", None) is None:
+                grid = DENSE_CONSTRAINT_GRID
+            # A dense panel under per-cell cold WLO would cost 4x the
+            # paper grid; the Pareto-front engine walks each panel's
+            # frontier once regardless of resolution.  An explicit
+            # --continuation still wins.
+            mode = mode or "pareto"
         print(render_fig4(runner, request.kernels, request.targets, grid,
-                          sim_backend=request.sim_backend))
+                          sim_backend=request.sim_backend,
+                          continuation=mode, format=request.format))
         _export(args, fig4_table(runner, request.kernels, request.targets,
-                                 grid, sim_backend=request.sim_backend),
+                                 grid, sim_backend=request.sim_backend,
+                                 continuation=mode, format=request.format),
                 "fig4")
         return 0
     if args.command == "table1":
@@ -354,6 +399,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             runner, request.kernels, n_stimuli=args.stimuli,
             seed=args.sim_seed,
             backend=request.sim_backend or DEFAULT_BACKEND,
+            oracle=args.oracle,
         )
         print(table.render())
         _export(args, table, "model_validation")
@@ -402,6 +448,13 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         for b in listing["execution_backends"]
     )
     print(f"Execution backends: {dispatchers}")
+    formats = ", ".join(
+        f"{f['name']} ({f['description']})" for f in listing["formats"]
+    )
+    print(
+        f"Formats: {formats}; plus parameterized binary(E,M) "
+        "(E exponent / M mantissa bits, e.g. --format 'binary(8,10)')"
+    )
     return 0
 
 
@@ -432,7 +485,7 @@ def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
     )
     table = TextTable(
         headers=(
-            "kernel", "target", "constraint_db", "wlo", "flow",
+            "kernel", "target", "constraint_db", "wlo", "flow", "format",
             "scalar_cycles", "wlo_first_speedup", "wlo_slp_speedup",
             "float_speedup", "wlo_iters", "warm",
         ),
@@ -440,7 +493,7 @@ def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
     )
     failures = TextTable(
         headers=("kernel", "target", "constraint_db", "wlo", "flow",
-                 "error"),
+                 "format", "error"),
         title="Failed cells — completed cells above were kept and cached",
     )
     for outcome in outcomes:
@@ -450,12 +503,13 @@ def _cmd_sweep(args: argparse.Namespace, request, runner) -> int:
             failures.add_row(
                 cell_request.kernel, cell_request.target,
                 cell_request.constraint_db, cell_request.wlo,
-                cell_request.flow, outcome["error"],
+                cell_request.flow, cell_request.format or "fixed",
+                outcome["error"],
             )
             continue
         table.add_row(
             cell.kernel, cell.target, cell.constraint_db, cell_request.wlo,
-            cell_request.flow,
+            cell_request.flow, cell_request.format or "fixed",
             cell.scalar_cycles,
             round(cell.wlo_first_speedup, 3),
             round(cell.wlo_slp_speedup, 3),
@@ -497,6 +551,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "sim_backend": defaults.sim_backend,
             "continuation": defaults.continuation,
             "pareto": defaults.pareto,
+            "format": defaults.format,
         }
     )
     server = make_server(args.host, args.port, service, verbose=args.verbose)
@@ -504,7 +559,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"repro serve listening on http://{host}:{port}")
     print("  POST /jobs              submit a SweepRequest payload")
     print("  GET  /jobs/<id>/outcomes?since=N   poll results")
-    print("  GET  /registries        list flows/engines/backends/kernels")
+    print("  GET  /registries        list flows/engines/backends/"
+          "formats/kernels")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -24,6 +24,7 @@ __all__ = [
     "BackendError",
     "ExecutionBackendError",
     "FixedPointError",
+    "FormatError",
     "OverflowPolicyError",
     "RangeAnalysisError",
     "AccuracyError",
@@ -66,6 +67,10 @@ class FixedPointError(ReproError):
 
 class OverflowPolicyError(FixedPointError):
     """A value overflowed its format under the 'error' overflow policy."""
+
+
+class FormatError(ReproError):
+    """Unknown or misused numeric format (see :mod:`repro.formats`)."""
 
 
 class RangeAnalysisError(ReproError):

@@ -69,7 +69,12 @@ from repro.experiments.engine import (
     cell_pipeline_signature,
     evaluate_cell,
 )
-from repro.experiments.fig4 import fig4_panel, fig4_table, render_fig4
+from repro.experiments.fig4 import (
+    DENSE_CONSTRAINT_GRID,
+    fig4_panel,
+    fig4_table,
+    render_fig4,
+)
 from repro.experiments.fig6 import (
     FIG6_TARGETS,
     fig6_series,
@@ -89,6 +94,7 @@ __all__ = [
     "CellOutcome",
     "CellRequest",
     "CellResult",
+    "DENSE_CONSTRAINT_GRID",
     "ExecutionBackend",
     "ExperimentRunner",
     "FIG6_TARGETS",

@@ -44,7 +44,10 @@ from repro.flows.common import flow_code_version
 
 __all__ = ["SweepCache", "default_cache_dir"]
 
-_FORMAT_VERSION = 2
+# 3: CellRequest gained the ``format`` field (repro.formats) — the
+# asdict'd request payload changed shape, so pre-format entries are
+# orphaned rather than half-matched.
+_FORMAT_VERSION = 3
 
 #: Temp files older than this are presumed orphaned by a dead worker
 #: (a healthy write lives milliseconds) and swept on the next store.

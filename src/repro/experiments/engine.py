@@ -37,6 +37,7 @@ from repro.errors import FlowError, unknown_name_error
 from repro.flows.common import AnalysisContext
 from repro.flows.floatflow import run_float
 from repro.flows.wlo_first import WloFirstResult
+from repro.formats import canonical_format
 from repro.kernels import conv2d, fir, iir
 from repro.pipeline import ensure_flow, get_flow, run_flow
 from repro.pipeline.registry import registry_generation
@@ -56,6 +57,7 @@ __all__ = [
     "cell_pipeline_signature",
     "evaluate_cell",
     "float_cycles",
+    "format_noise_db",
     "kernel_programs",
     "wlo_stats_numbers",
 ]
@@ -135,6 +137,22 @@ class CellRequest:
     #: too — so warm and cold cells can never alias in either cache
     #: layer.
     continuation: str = ""
+    #: Numeric format of the cell (:mod:`repro.formats`).  ``""`` (the
+    #: default, canonical spelling of ``fixed``) is the paper's
+    #: fixed-point path; a float format name (``float32``,
+    #: ``bfloat16``, ``binary(E,M)``…) makes the cell a format cell:
+    #: no WLO, cycles from the float flow, noise measured against the
+    #: ``bigfloat`` oracle.  Normalized on construction so alternative
+    #: spellings can never key distinct cells, and part of the request
+    #: dataclass — hence of the on-disk cache key — so format cells
+    #: never alias fixed-point cells.
+    format: str = ""
+
+    def __post_init__(self) -> None:
+        # Frozen dataclass: normalize through the canonicalizer so
+        # "fixed"/"FIXED"/"" (and binary(E,M) spacing variants) are one
+        # request identity.
+        object.__setattr__(self, "format", canonical_format(self.format))
 
 
 @dataclass
@@ -250,11 +268,16 @@ def cell_pipeline_signature(request: CellRequest) -> dict[str, list[str]]:
         _SIGNATURES[0] = generation
         _SIGNATURES[1] = {}
     memo = _SIGNATURES[1]
-    key = (request.wlo, request.flow, request.sim_backend, request.continuation)
+    key = (
+        request.wlo, request.flow, request.sim_backend,
+        request.continuation, request.format,
+    )
     found = memo.get(key)
     if found is None:
         found = {
-            "float": get_flow("float").pass_names(),
+            "float": get_flow("float").pass_names(
+                **_flow_overrides(get_flow("float"), request)
+            ),
             "baseline": get_flow("wlo-first").pass_names(
                 wlo=request.wlo,
                 **_flow_overrides(get_flow("wlo-first"), request),
@@ -284,6 +307,8 @@ def _flow_overrides(spec, request: CellRequest) -> dict[str, str]:
         overrides["sim_backend"] = request.sim_backend
     if request.continuation and "continuation" in spec.params:
         overrides["continuation"] = request.continuation
+    if request.format and "format" in spec.params:
+        overrides["format"] = request.format
     return overrides
 
 
@@ -332,9 +357,14 @@ def evaluate_cell(
     adopt before resolving — how runtime-declared flow variants reach
     pool workers on spawn/forkserver start methods (workers re-import
     the package and would otherwise only know the built-ins).
+
+    Format cells (``request.format`` set) take a different route: see
+    :func:`_evaluate_format_cell`.
     """
     for spec in flows:
         ensure_flow(spec)
+    if request.format:
+        return _evaluate_format_cell(config, request)
     program, twin = kernel_programs(config, request.kernel)
     target = get_target(request.target)
     float_total = run_flow(
@@ -380,6 +410,73 @@ def evaluate_cell(
     )
 
 
+#: Per-process memo of measured format noise, keyed
+#: (config, kernel, format): the noise of a float format is
+#: constraint- and target-independent, so a format sweep's whole
+#: (kernel, format) panel measures it once per process.
+_FORMAT_NOISE: dict[tuple[KernelConfig, str, str], float] = {}
+
+
+def format_noise_db(config: KernelConfig, kernel: str, format: str) -> float:
+    """Measured noise (dB) of executing ``kernel`` in ``format``.
+
+    Evaluated on the kernel's analysis twin against the ``bigfloat``
+    oracle reference (memoized per process); the iir twin discards its
+    warm-up transient exactly like the validation experiment does.
+    """
+    key = (config, kernel, canonical_format(format))
+    found = _FORMAT_NOISE.get(key)
+    if found is None:
+        # Local import: the accuracy package sits above the IR but the
+        # engine is imported by lightweight consumers that never
+        # evaluate format cells.
+        from repro.accuracy.simulation import FormatAccuracyEvaluator
+
+        _, twin = kernel_programs(config, kernel)
+        evaluator = FormatAccuracyEvaluator(
+            twin, key[2], n_stimuli=2,
+            discard=64 if kernel == "iir" else 0,
+        )
+        found = evaluator.noise_db()
+        _FORMAT_NOISE[key] = found
+    return found
+
+
+def _evaluate_format_cell(config: KernelConfig, request: CellRequest) -> Cell:
+    """Evaluate one *format* cell (``request.format`` set).
+
+    A float-format cell has no word-length search: the kernel runs in
+    the format everywhere, so its cycle count is the float flow's total
+    (the cycle model is precision-independent — one float machine op
+    per scalar op) and its noise is the format's measured rounding
+    noise against the ``bigfloat`` oracle.  Every cycle column carries
+    that one total (speedups are identically 1.0), the SLP group
+    counts are zero, and the cell is never constraint-infeasible — the
+    constraint axis merely records which noise budget the format is
+    being compared against, so format sweeps always complete.
+    """
+    program, twin = kernel_programs(config, request.kernel)
+    target = get_target(request.target)
+    total = run_flow(
+        "float", program, target, analysis_program=twin,
+        format=request.format,
+    ).total_cycles
+    noise = format_noise_db(config, request.kernel, request.format)
+    return Cell(
+        kernel=request.kernel,
+        target=request.target,
+        constraint_db=request.constraint_db,
+        scalar_cycles=total,
+        wlo_first_simd_cycles=total,
+        wlo_slp_cycles=total,
+        float_cycles=total,
+        wlo_first_groups=0,
+        wlo_slp_groups=0,
+        wlo_first_noise_db=noise,
+        wlo_slp_noise_db=noise,
+    )
+
+
 # ----------------------------------------------------------------------
 # Job graph.
 
@@ -402,6 +499,7 @@ class SweepPlan:
         flow: str = "wlo-slp",
         sim_backend: str = "",
         continuation: str = "",
+        format: str = "",
     ) -> "SweepPlan":
         """Enumerate (kernel × target × constraint) cells.
 
@@ -424,6 +522,9 @@ class SweepPlan:
         backends that split or reorder the plan (``process``,
         ``workqueue``) just get per-chunk or cold continuation, never
         wrong answers.
+
+        ``format`` stamps every cell with a :mod:`repro.formats` name
+        (``""`` = the fixed-point default); see :class:`CellRequest`.
         """
         pairs = _parse_only(only)
         constraints = [float(constraint) for constraint in grid]
@@ -438,7 +539,7 @@ class SweepPlan:
                 for constraint in constraints:
                     request = CellRequest(
                         kernel, target, constraint, wlo, flow,
-                        sim_backend, continuation,
+                        sim_backend, continuation, format,
                     )
                     if request not in seen:
                         seen.add(request)

@@ -21,7 +21,21 @@ from repro.experiments.runner import (
 from repro.report.ascii_plot import line_plot
 from repro.report.tables import TextTable
 
-__all__ = ["fig4_panel", "fig4_table", "render_fig4"]
+__all__ = [
+    "DENSE_CONSTRAINT_GRID",
+    "fig4_panel",
+    "fig4_table",
+    "render_fig4",
+]
+
+#: The 4x-resolution constraint grid of ``repro fig4 --dense`` — the
+#: exact grid the ``pareto-smoke`` CI job sweeps (28 points, 2.5 dB
+#: steps, same [-70, -2.5] span as the paper grid).  Dense panels are
+#: meant to run under the single-search Pareto-front WLO, where the
+#: whole panel costs one frontier walk regardless of grid resolution.
+DENSE_CONSTRAINT_GRID: tuple[float, ...] = tuple(
+    -2.5 * k for k in range(1, 29)
+)
 
 
 def fig4_panel(
@@ -30,13 +44,33 @@ def fig4_panel(
     target: str,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
     sim_backend: str = "",
+    continuation: str = "",
+    format: str = "",
 ) -> dict[str, list[tuple[float, float]]]:
     """The two speedup series of one panel."""
-    cells = runner.sweep(kernel, target, grid, sim_backend=sim_backend)
+    cells = runner.sweep(
+        kernel, target, grid, sim_backend=sim_backend,
+        continuation=continuation, format=format,
+    )
     return {
         "WLO-FIRST": [(c.constraint_db, c.wlo_first_speedup) for c in cells],
         "WLO-SLP": [(c.constraint_db, c.wlo_slp_speedup) for c in cells],
     }
+
+
+def _panel_request(
+    kernels, targets, grid, sim_backend, continuation, format
+):
+    """The figure's cells as one typed request (lazy import: cycle)."""
+    from repro.api import SweepRequest
+
+    return SweepRequest(
+        kernels=kernels, targets=targets, grid=grid,
+        sim_backend=sim_backend,
+        continuation=(continuation == "warm"),
+        pareto=(continuation == "pareto"),
+        format=format,
+    )
 
 
 def fig4_table(
@@ -45,18 +79,20 @@ def fig4_table(
     targets: tuple[str, ...] = PAPER_TARGETS,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
     sim_backend: str = "",
+    continuation: str = "",
+    format: str = "",
 ) -> TextTable:
     """All panels as one flat table (kernel, target, constraint).
 
     The submitted :class:`~repro.api.SweepRequest` completes (and
     caches) every completable cell first; if any cell failed, one
     :class:`~repro.errors.FlowError` then names them all — a re-run
-    after the fix resumes warm.
+    after the fix resumes warm.  ``continuation`` is the engine-side
+    mode string (``""``/``"warm"``/``"pareto"``); ``format`` a
+    :mod:`repro.formats` name for format-sweep panels.
     """
-    from repro.api import SweepRequest  # lazy: avoids import cycle
-
-    request = SweepRequest(
-        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    request = _panel_request(
+        kernels, targets, grid, sim_backend, continuation, format
     )
     runner.submit(request).ensure_complete()
     table = TextTable(
@@ -70,7 +106,8 @@ def fig4_table(
     for kernel in kernels:
         for target in targets:
             for cell in runner.sweep(
-                kernel, target, grid, sim_backend=sim_backend
+                kernel, target, grid, sim_backend=sim_backend,
+                continuation=continuation, format=format,
             ):
                 table.add_row(
                     kernel, target, cell.constraint_db,
@@ -88,18 +125,21 @@ def render_fig4(
     targets: tuple[str, ...] = PAPER_TARGETS,
     grid: tuple[float, ...] = PAPER_CONSTRAINT_GRID,
     sim_backend: str = "",
+    continuation: str = "",
+    format: str = "",
 ) -> str:
     """Full text rendering: one ASCII plot per panel plus the table."""
-    from repro.api import SweepRequest  # lazy: avoids import cycle
-
-    request = SweepRequest(
-        kernels=kernels, targets=targets, grid=grid, sim_backend=sim_backend
+    request = _panel_request(
+        kernels, targets, grid, sim_backend, continuation, format
     )
     runner.submit(request).ensure_complete()
     sections = []
     for kernel in kernels:
         for target in targets:
-            series = fig4_panel(runner, kernel, target, grid, sim_backend)
+            series = fig4_panel(
+                runner, kernel, target, grid, sim_backend,
+                continuation, format,
+            )
             sections.append(line_plot(
                 series,
                 title=f"Fig. 4 panel — {kernel.upper()} on {target}",
@@ -107,6 +147,9 @@ def render_fig4(
                 x_label="accuracy constraint (dB)",
             ))
     sections.append(
-        fig4_table(runner, kernels, targets, grid, sim_backend).render()
+        fig4_table(
+            runner, kernels, targets, grid, sim_backend, continuation,
+            format,
+        ).render()
     )
     return "\n\n".join(sections)

@@ -98,11 +98,12 @@ class ExperimentRunner:
         flow: str = "wlo-slp",
         sim_backend: str = "",
         continuation: str = "",
+        format: str = "",
     ) -> Cell:
         """Run (or recall) one sweep cell."""
         request = CellRequest(
             kernel, target_name, float(constraint_db), wlo, flow, sim_backend,
-            continuation,
+            continuation, format,
         )
         found = self._cells.get(request)
         if found is not None:
@@ -130,6 +131,7 @@ class ExperimentRunner:
         flow: str = "wlo-slp",
         sim_backend: str = "",
         continuation: str = "",
+        format: str = "",
     ) -> list[Cell]:
         """All cells of one (kernel, target) panel.
 
@@ -141,10 +143,12 @@ class ExperimentRunner:
         self.prefetch(
             (kernel,), (target_name,), grid, wlo, flow=flow,
             sim_backend=sim_backend, continuation=continuation,
+            format=format,
         ).ensure_complete()
         return [
             self.cell(
-                kernel, target_name, a, wlo, flow, sim_backend, continuation
+                kernel, target_name, a, wlo, flow, sim_backend, continuation,
+                format,
             )
             for a in grid
         ]
@@ -160,6 +164,7 @@ class ExperimentRunner:
         flow: str = "wlo-slp",
         sim_backend: str = "",
         continuation: str = "",
+        format: str = "",
     ) -> SweepStats:
         """Resolve a whole grid through the executor in one batch.
 
@@ -169,7 +174,7 @@ class ExperimentRunner:
         """
         plan = SweepPlan.build(
             self.config, kernels, targets, grid, wlo, only, flow, sim_backend,
-            continuation,
+            continuation, format,
         )
         _, stats = self.executor.run(plan)
         return stats

@@ -47,6 +47,7 @@ __all__ = [
     "mantissa_to_float",
     "mantissa_to_float_array",
     "quantize_value",
+    "round_half_even_shift",
 ]
 
 #: Largest word length whose wrap/saturate constants (``2**wl`` span,
@@ -89,6 +90,25 @@ def _shift_mantissas(mantissas, f_from: int, f_to: int, mode: QuantMode):
     if mode is QuantMode.ROUND:
         return (mantissas + (1 << (shift - 1))) >> shift
     return mantissas >> shift  # >> floors: two's complement truncation.
+
+
+def round_half_even_shift(mantissa: int, shift: int) -> int:
+    """``mantissa / 2**shift`` rounded to nearest, ties to even.
+
+    The IEEE-754 rounding primitive on exact Python-int mantissas
+    (``shift >= 1``); exact remainders make ties unambiguous, and
+    ``divmod``'s floored quotient/positive remainder keep the same body
+    correct for negative mantissas.  This is the core of the
+    :mod:`repro.formats` binary-float quantizers and of the ``bigfloat``
+    oracle's per-op precision clamp — deliberately distinct from
+    :class:`QuantMode` ``ROUND`` (round-half-up), which models the
+    paper's fixed-point hardware rounding.
+    """
+    quotient, remainder = divmod(mantissa, 1 << shift)
+    half = 1 << (shift - 1)
+    if remainder > half or (remainder == half and quotient & 1):
+        quotient += 1
+    return quotient
 
 
 def requantize(mantissa: int, f_from: int, f_to: int, mode: QuantMode) -> int:

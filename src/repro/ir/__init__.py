@@ -8,13 +8,19 @@ See :mod:`repro.ir.builder` for the construction API.
 from repro.ir.backend import (
     DEFAULT_BACKEND,
     BatchBackend,
+    BigFloatBackend,
     EvaluationBackend,
     ScalarBackend,
     available_backends,
     get_backend,
     register_backend,
 )
-from repro.ir.batch import BatchInterpreter, run_program_batch
+from repro.ir.batch import (
+    BatchInterpreter,
+    FormatBatchInterpreter,
+    OracleBatchInterpreter,
+    run_program_batch,
+)
 from repro.ir.block import BasicBlock
 from repro.ir.builder import ProgramBuilder, Val
 from repro.ir.deps import DependenceGraph, build_dependence_graph, may_alias
@@ -42,9 +48,12 @@ __all__ = [
     "BasicBlock",
     "BatchBackend",
     "BatchInterpreter",
+    "BigFloatBackend",
     "BlockRef",
     "DEFAULT_BACKEND",
     "EvaluationBackend",
+    "FormatBatchInterpreter",
+    "OracleBatchInterpreter",
     "ScalarBackend",
     "VectorPlan",
     "DependenceGraph",

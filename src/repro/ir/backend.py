@@ -18,6 +18,12 @@ is swappable:
   path is itself two-tiered (``batch[int64]``/``batch[object]``, see
   :mod:`repro.fixedpoint.widthproof`); :meth:`~EvaluationBackend.fixed_tier`
   reports which tier a given spec runs on.
+* ``bigfloat`` — the arbitrary-precision oracle
+  (:class:`~repro.ir.batch.OracleBatchInterpreter` over
+  :class:`~repro.formats.BigFloat` values): float evaluation at ~200
+  mantissa bits, fixed-point evaluation pinned to the exact object
+  tier.  The reference for ``repro validate --oracle`` and for
+  reduced-precision format noise.
 
 Both entry points take a *sequence* of stimuli and return one output
 dict per stimulus, so callers are backend-agnostic.  ``range_probe``
@@ -42,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "DEFAULT_BACKEND",
     "BatchBackend",
+    "BigFloatBackend",
     "EvaluationBackend",
     "ScalarBackend",
     "available_backends",
@@ -175,6 +182,47 @@ class BatchBackend(EvaluationBackend):
         return f"batch[{fixed_point_tier(program, spec, config)}]"
 
 
+class BigFloatBackend(EvaluationBackend):
+    """The arbitrary-precision oracle (see :mod:`repro.formats`).
+
+    ``run_float`` evaluates with exact Python-int mantissas rounded to
+    ~200 bits per operation — the reference that *bounds* the float64
+    reference's own rounding noise (``repro validate --oracle``) and
+    the baseline every reduced-precision format's noise is measured
+    against.  ``run_fixed`` is bit-exact by construction (fixed-point
+    arithmetic is integer arithmetic): it pins the batch executor's
+    exact object tier, so oracle-backed runs agree with ``scalar`` /
+    ``batch`` to the bit — pinned by the formats golden tests.
+    """
+
+    name = "bigfloat"
+    description = (
+        "arbitrary-precision binary-float oracle (exact Python-int "
+        "mantissas, 200-bit rounding); float references far below "
+        "float64 rounding noise"
+    )
+
+    def run_float(self, program, stimuli, range_probe=None):
+        from repro.ir.batch import OracleBatchInterpreter
+
+        return OracleBatchInterpreter(program).run(
+            stimuli, range_probe=range_probe
+        )
+
+    def run_fixed(self, program, spec, stimuli, config=None,
+                  force_object=False):
+        # Fixed-point evaluation is already exact integer arithmetic;
+        # the oracle simply pins the arbitrary-precision tier.
+        from repro.fixedpoint.fxpbatch import BatchFixedPointInterpreter
+
+        return BatchFixedPointInterpreter(
+            program, spec, config, force_object=True
+        ).run(stimuli)
+
+    def fixed_tier(self, program, spec, config=None):
+        return "bigfloat[object]"
+
+
 _BACKENDS: dict[str, EvaluationBackend] = {}
 
 
@@ -209,3 +257,4 @@ def available_backends() -> list[str]:
 
 register_backend(ScalarBackend())
 register_backend(BatchBackend())
+register_backend(BigFloatBackend())

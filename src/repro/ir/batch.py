@@ -37,6 +37,8 @@ from repro.ir.vectorize import VectorPlan, vector_plan
 __all__ = [
     "BatchExecutorBase",
     "BatchInterpreter",
+    "FormatBatchInterpreter",
+    "OracleBatchInterpreter",
     "run_program_batch",
     "stack_input_columns",
 ]
@@ -117,7 +119,33 @@ class BatchExecutorBase:
 
 
 class BatchInterpreter(BatchExecutorBase):
-    """Float64 executor evaluating every stimulus in one pass."""
+    """Float64 executor evaluating every stimulus in one pass.
+
+    The four ``_const`` / ``_lift_scalar`` / ``_probe_value`` /
+    ``_arith_result`` hooks parameterize the *value domain* without
+    touching the walk: this class is the identity on all of them
+    (plain float64 — bit-identical to the pre-hook executor), while
+    :class:`OracleBatchInterpreter` and :class:`FormatBatchInterpreter`
+    re-point them at :mod:`repro.formats` value types.
+    """
+
+    # ------------------------------------------------------------------
+    # Value-domain hooks.
+    def _const(self, op: Operation):
+        """Domain value of a CONST literal."""
+        return float(op.value)  # type: ignore[arg-type]
+
+    def _lift_scalar(self, value):
+        """Lift a program-declared scalar (variable init) into the domain."""
+        return value
+
+    def _probe_value(self, value):
+        """Value as handed to ``range_probe`` (float64 for analyses)."""
+        return value
+
+    def _arith_result(self, op: Operation, values: dict):
+        """Arithmetic in the domain (post-op rounding goes here)."""
+        return _arith(op, values)
 
     # ------------------------------------------------------------------
     def run(
@@ -130,7 +158,8 @@ class BatchInterpreter(BatchExecutorBase):
             raise InterpreterError("batch run needs at least one stimulus")
         storage = self._init_storage(stimuli)
         var_values: dict[str, np.ndarray | float] = {
-            name: decl.init for name, decl in self.program.variables.items()
+            name: self._lift_scalar(decl.init)
+            for name, decl in self.program.variables.items()
         }
         state = _BatchState(storage, var_values, range_probe)
         self._run_items(self.program.schedule, {}, state)
@@ -170,7 +199,7 @@ class BatchInterpreter(BatchExecutorBase):
         for op in block.ops:
             kind = op.kind
             if kind is OpKind.CONST:
-                result = float(op.value)  # type: ignore[arg-type]
+                result = self._const(op)
             elif kind is OpKind.LOAD:
                 flat = self._flat_index(op, env)
                 result = state.storage[op.array][flat]
@@ -188,10 +217,10 @@ class BatchInterpreter(BatchExecutorBase):
                 result = values[op.operands[0]]
                 state.var_values[op.var] = result  # type: ignore[index]
             else:
-                result = _arith(op, values)
+                result = self._arith_result(op, values)
             values[op.opid] = result
             if state.range_probe is not None:
-                state.range_probe(op.opid, result)
+                state.range_probe(op.opid, self._probe_value(result))
 
 
 def _arith(op: Operation, values: dict):
@@ -234,3 +263,123 @@ def run_program_batch(
 ) -> list[dict[str, np.ndarray]]:
     """One-shot convenience wrapper around :class:`BatchInterpreter`."""
     return BatchInterpreter(program).run(stimuli)
+
+
+# ----------------------------------------------------------------------
+# Format-domain executors (:mod:`repro.formats`).  Imported lazily:
+# ``repro.formats`` pulls in the fixed-point package, which imports
+# this module — a top-level import here would cycle.
+
+
+def _object_map(func, array: np.ndarray) -> np.ndarray:
+    """Elementwise ``func`` over ``array`` into a fresh object ndarray."""
+    out = np.empty(array.shape, dtype=object)
+    out.reshape(-1)[:] = [func(v) for v in array.reshape(-1).tolist()]
+    return out
+
+
+class OracleBatchInterpreter(BatchInterpreter):
+    """The ``bigfloat`` oracle executor: exact-int binary floats.
+
+    Same walk, but every runtime value is a
+    :class:`~repro.formats.BigFloat` (object-dtype lanes), so each
+    operation rounds at oracle precision (~4x float64) instead of 53
+    bits.  Outputs and probed ranges come back as nearest-float64.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        plan: VectorPlan | None = None,
+        precision: int | None = None,
+    ) -> None:
+        super().__init__(program, plan)
+        from repro.formats import ORACLE_PRECISION, BigFloat
+
+        self._big = BigFloat
+        self.precision = ORACLE_PRECISION if precision is None else precision
+
+    def _from_float(self, value) -> object:
+        return self._big.from_float(float(value), self.precision)
+
+    # -- hooks ---------------------------------------------------------
+    def _const(self, op: Operation):
+        return self._from_float(op.value)
+
+    def _lift_scalar(self, value):
+        return self._from_float(value)
+
+    def _probe_value(self, value):
+        if isinstance(value, np.ndarray):
+            return _object_map(float, value).astype(np.float64)
+        return float(value)
+
+    def _init_storage(self, stimuli):
+        storage = super()._init_storage(stimuli)
+        return {
+            name: _object_map(self._from_float, columns)
+            for name, columns in storage.items()
+        }
+
+    def run(self, stimuli, range_probe=None):
+        outputs = super().run(stimuli, range_probe)
+        return [
+            {
+                name: _object_map(float, arr).astype(np.float64)
+                for name, arr in per_stimulus.items()
+            }
+            for per_stimulus in outputs
+        ]
+
+
+class FormatBatchInterpreter(BatchInterpreter):
+    """Quantized execution in a reduced-precision binary float format.
+
+    Inputs, coefficients, constants and variable inits are rounded
+    into the format, and every ADD/SUB/MUL result is re-rounded — the
+    correctly-rounded (RNE) semantics of running the kernel in that
+    format.  MIN/MAX/NEG/ABS and data movement are exact on
+    representable values, so no rounding is spent there.  Values are
+    carried in float64 arrays, which represents every constructible
+    format exactly (see :class:`repro.formats.FloatFormat`).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        format_spec,
+        plan: VectorPlan | None = None,
+    ) -> None:
+        super().__init__(program, plan)
+        if format_spec.kind != "float":
+            from repro.errors import FormatError
+
+            raise FormatError(
+                f"format {format_spec.name!r} (kind {format_spec.kind!r}) "
+                f"is not a binary float execution format"
+            )
+        self.format = format_spec
+
+    # -- hooks ---------------------------------------------------------
+    def _const(self, op: Operation):
+        return self.format.round_value(float(op.value))
+
+    def _lift_scalar(self, value):
+        return self.format.round_value(float(value))
+
+    def _arith_result(self, op: Operation, values: dict):
+        result = _arith(op, values)
+        if op.kind in (OpKind.ADD, OpKind.SUB, OpKind.MUL):
+            if isinstance(result, np.ndarray):
+                return self.format.quantize_array(result)
+            return self.format.round_value(float(result))
+        return result
+
+    def _init_storage(self, stimuli):
+        storage = super()._init_storage(stimuli)
+        for decl in self.program.arrays.values():
+            if decl.kind in (SymbolKind.INPUT, SymbolKind.COEFF):
+                storage[decl.name] = self.format.quantize_array(
+                    storage[decl.name]
+                )
+        return storage

@@ -53,8 +53,11 @@ def _analysis_passes(sim_backend: str = DEFAULT_BACKEND) -> tuple[Pass, ...]:
 # ----------------------------------------------------------------------
 # float
 
-def _build_float() -> tuple[Pass, ...]:
-    return (LowerFloatPass(), SchedulePass("float_lowered", "cycles"))
+def _build_float(format: str = "") -> tuple[Pass, ...]:
+    return (
+        LowerFloatPass(format=format),
+        SchedulePass("float_lowered", "cycles"),
+    )
 
 
 def _float_result(
@@ -77,6 +80,10 @@ register_flow(FlowSpec(
     description="floating-point reference (FPU or soft-float), Fig. 6 base",
     build=_build_float,
     result=_float_result,
+    # ``format`` names a repro.formats execution format for format
+    # sweeps; the default "" is the plain float64 reference and keeps
+    # the resolved pipeline byte-identical to pre-format releases.
+    params={"format": ""},
     needs_constraint=False,
 ))
 

@@ -446,12 +446,30 @@ class DecoupledSlpPass(Pass):
 # Lowering and scheduling (deterministic from spec/groups, cacheable).
 
 class LowerFloatPass(Pass):
-    """Single-precision float lowering (FPU or serialized soft-float)."""
+    """Single-precision float lowering (FPU or serialized soft-float).
+
+    ``format`` names the :mod:`repro.formats` execution format of a
+    format-sweep cell (``float32``, ``bfloat16``, ``binary(E,M)``, …).
+    The cycle model is format-independent — the target issues one
+    float machine op per scalar op regardless of precision — so the
+    lowering itself does not change; the parameter exists to key both
+    cache layers per format (following :class:`WloPass`, it enters
+    :meth:`params` only when set, keeping the default signature — and
+    every pre-format cache key — byte-identical).
+    """
 
     name = "lower-float"
     reads = ("program", "target")
     writes = ("float_lowered",)
     cacheable = True
+
+    def __init__(self, format: str = "") -> None:
+        self.format = format
+
+    def params(self) -> dict[str, Any]:
+        if self.format:
+            return {"format": self.format}
+        return {}
 
     def run(self, state: FlowState) -> dict[str, Any]:
         lowered = lower_float_program(state.get("program"), state.get("target"))

@@ -3,7 +3,7 @@
 Endpoints (all JSON):
 
 * ``GET  /health`` — liveness + job stats.
-* ``GET  /registries`` — the four registries plus kernels and targets;
+* ``GET  /registries`` — the five registries plus kernels and targets;
   byte-identical payload to ``repro flows --json``.
 * ``GET  /jobs`` — every job's summary.
 * ``GET  /jobs/<id>`` — one job's summary (counts, progress, status).

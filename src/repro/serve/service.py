@@ -59,8 +59,8 @@ class SweepService:
 
     ``defaults`` fills request fields absent from submitted payloads —
     the ``repro serve`` CLI flags (``--jobs``, ``--backend``,
-    ``--cache-dir`` …) become process-wide defaults a client can
-    override per job.  ``config`` forwards kernel sizing overrides
+    ``--cache-dir``, ``--format`` …) become process-wide defaults a
+    client can override per job.  ``config`` forwards kernel sizing overrides
     (``n_samples`` etc.) to every job's runner; tests use it for small
     fast grids.
     """

@@ -1,5 +1,5 @@
 """Typed request API tests: round-trips, CLI materialization, and the
-standardized unknown-name error format of all four registries."""
+standardized unknown-name error format of all five registries."""
 
 from __future__ import annotations
 
@@ -17,6 +17,7 @@ from repro.errors import (
     BackendError,
     ExecutionBackendError,
     FlowError,
+    FormatError,
     IRError,
     TargetError,
     WLOError,
@@ -99,6 +100,39 @@ class TestSweepRequestRoundTrip:
         with pytest.raises(FlowError, match="mutually exclusive"):
             SweepRequest(continuation=True, pareto=True).validate()
 
+    def test_format_round_trips_and_canonicalizes(self):
+        request = SweepRequest(format="float32")
+        assert SweepRequest.from_json(request.to_json()) == request
+        # Canonical spelling: case and binary(E,M) spacing never split
+        # request equality (and thus never split cache cells).
+        assert SweepRequest(format="Binary( 8 , 10 )") == SweepRequest(
+            format="binary(8,10)"
+        )
+        assert SweepRequest(format="fixed") == SweepRequest(format="")
+
+    def test_format_validates_through_the_registry(self):
+        SweepRequest(format="bfloat16").validate()
+        with pytest.raises(FormatError, match="unknown format 'floot32'"):
+            SweepRequest(format="floot32").validate()
+        # The oracle is a reference backend, not a quantization target.
+        with pytest.raises(FormatError, match="bigfloat"):
+            SweepRequest(format="bigfloat").validate()
+
+    def test_format_reaches_the_plan(self):
+        from repro.experiments import KernelConfig
+
+        request = SweepRequest(
+            kernels=("fir",), targets=("vex-1",), grid=(-15.0,),
+            format="float32",
+        )
+        plan = request.plan(KernelConfig(**SMALL))
+        assert [r.format for r in plan.requests] == ["float32"]
+        fixed = SweepRequest(
+            kernels=("fir",), targets=("vex-1",), grid=(-15.0,)
+        ).plan(KernelConfig(**SMALL))
+        # Format cells never alias fixed-point cells.
+        assert plan.requests[0] != fixed.requests[0]
+
     def test_continuation_reaches_the_plan(self):
         from repro.experiments import KernelConfig
 
@@ -165,6 +199,9 @@ class TestCliMaterialization:
         ["serve", "--port", "0", "--jobs", "4", "--backend", "workqueue"],
         ["sweep", "--only", "fir:vex-1", "--continuation"],
         ["sweep", "--only", "fir:vex-1", "--pareto", "--grid", "-15", "-25"],
+        ["sweep", "--format", "float32", "--only", "fir:vex-1"],
+        ["fig4", "--format", "bfloat16", "--kernels", "fir",
+         "--targets", "vex-1", "--grid", "-25"],
     ]
 
     @pytest.mark.parametrize(
@@ -183,7 +220,7 @@ class TestCliMaterialization:
         args = build_parser().parse_args(
             ["sweep", "--jobs", "5", "--backend", "workqueue",
              "--cache-dir", "/tmp/c", "--no-cache",
-             "--sim-backend", "scalar"]
+             "--sim-backend", "scalar", "--format", "float32"]
         )
         request = SweepRequest.from_args(args)
         assert request.jobs == 5
@@ -191,6 +228,7 @@ class TestCliMaterialization:
         assert request.cache_dir == "/tmp/c"
         assert request.no_cache is True
         assert request.sim_backend == "scalar"
+        assert request.format == "float32"
 
     def test_run_request_from_args(self):
         from repro.cli import build_parser
@@ -208,11 +246,15 @@ class TestCliMaterialization:
 
 
 class TestUnknownNameErrors:
-    """Satellite: all four registries (plus targets and kernels) speak
+    """Satellite: all five registries (plus targets and kernels) speak
     one error dialect — ``unknown <kind> '<name>'; available: ...`` —
     via :func:`repro.errors.unknown_name_error`."""
 
     CASES = [
+        ("format", FormatError,
+         lambda: __import__("repro.formats", fromlist=["x"])
+         .get_format("posit16"),
+         ["fixed", "float32", "bfloat16", "bigfloat", "binary(E,M)"]),
         ("flow", FlowError,
          lambda: __import__("repro.pipeline", fromlist=["get_flow"])
          .get_flow("warp"),
@@ -264,7 +306,8 @@ class TestRegistryListing:
         listing = registry_listing()
         assert set(listing) == {
             "flows", "wlo_engines", "wlo_continuation_modes",
-            "sim_backends", "execution_backends", "kernels", "targets",
+            "sim_backends", "execution_backends", "formats", "kernels",
+            "targets",
         }
         assert listing["wlo_continuation_modes"] == ["warm", "pareto"]
         assert {f["name"] for f in listing["flows"]} >= {
@@ -272,8 +315,15 @@ class TestRegistryListing:
         }
         assert "tabu" in listing["wlo_engines"]
         assert {b["name"] for b in listing["sim_backends"]} == {
-            "scalar", "batch"
+            "scalar", "batch", "bigfloat"
         }
+        formats = {f["name"]: f for f in listing["formats"]}
+        assert set(formats) == {
+            "fixed", "float64", "float32", "bfloat16", "bigfloat"
+        }
+        assert formats["float32"]["exp_bits"] == 8
+        assert formats["float32"]["man_bits"] == 23
+        assert formats["bigfloat"]["kind"] == "oracle"
         by_name = {b["name"]: b for b in listing["sim_backends"]}
         assert [t["name"] for t in by_name["batch"]["tiers"]] == [
             "int64", "object"
